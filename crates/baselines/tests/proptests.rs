@@ -1,0 +1,78 @@
+//! Property-based tests for the VIPS and ICP baselines.
+
+use bba_baselines::icp::{icp_2d, IcpConfig};
+use bba_baselines::vips::{vips_match, VipsConfig};
+use bba_geometry::{Iso2, Vec2};
+use proptest::prelude::*;
+
+fn any_iso2() -> impl Strategy<Value = Iso2> {
+    (-3.0..3.0f64, -30.0..30.0f64, -30.0..30.0f64)
+        .prop_map(|(a, x, y)| Iso2::new(a, Vec2::new(x, y)))
+}
+
+/// Object layouts with pairwise separations of at least 3 m (distance
+/// consistency needs distinct distances).
+fn object_layout() -> impl Strategy<Value = Vec<Vec2>> {
+    proptest::collection::vec((-60.0..60.0f64, -60.0..60.0f64).prop_map(|(x, y)| Vec2::new(x, y)), 4..10)
+        .prop_filter("min pairwise separation", |pts| {
+            pts.iter().enumerate().all(|(i, a)| {
+                pts.iter().skip(i + 1).all(|b| a.distance(*b) > 3.0)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn vips_recovers_clean_layouts(t in any_iso2(), dst in object_layout()) {
+        let src: Vec<Vec2> = dst.iter().map(|&p| t.inverse().apply(p)).collect();
+        match vips_match(&src, &dst, &VipsConfig::default()) {
+            Ok(r) => {
+                let (dt, dr) = r.transform.error_to(&t);
+                prop_assert!(dt < 0.2 && dr < 0.02, "error {dt} m / {dr} rad");
+                // Matches are one-to-one.
+                let mut ss: Vec<usize> = r.matches.iter().map(|&(i, _)| i).collect();
+                ss.sort_unstable();
+                ss.dedup();
+                prop_assert_eq!(ss.len(), r.matches.len());
+            }
+            // Rotationally ambiguous layouts may legitimately fail; they
+            // must not produce a confidently wrong answer silently.
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn vips_never_matches_more_than_min_side(t in any_iso2(), dst in object_layout(),
+                                             extra in object_layout()) {
+        let mut src: Vec<Vec2> = dst.iter().map(|&p| t.inverse().apply(p)).collect();
+        src.extend(extra.iter().map(|&p| p + Vec2::new(500.0, 500.0)));
+        if let Ok(r) = vips_match(&src, &dst, &VipsConfig::default()) {
+            prop_assert!(r.matches.len() <= src.len().min(dst.len()));
+            for &(i, a) in &r.matches {
+                prop_assert!(i < src.len() && a < dst.len());
+            }
+        }
+    }
+
+    #[test]
+    fn icp_identity_for_identical_clouds(pts in object_layout()) {
+        let r = icp_2d(&pts, &pts, Iso2::IDENTITY, &IcpConfig::default()).unwrap();
+        prop_assert!(r.transform.approx_eq(&Iso2::IDENTITY, 1e-6, 1e-6));
+        prop_assert!(r.rmse < 1e-9);
+    }
+
+    #[test]
+    fn icp_never_increases_rmse_vs_warm_start(
+        pts in object_layout(), dx in -0.5..0.5f64, dy in -0.5..0.5f64,
+    ) {
+        // Truth: small translation. Start from identity.
+        let t = Iso2::from_translation(Vec2::new(dx, dy));
+        let dst: Vec<Vec2> = pts.iter().map(|&p| t.apply(p)).collect();
+        let r = icp_2d(&pts, &dst, Iso2::IDENTITY, &IcpConfig::default()).unwrap();
+        // Final rmse must be no worse than doing nothing.
+        let naive_rmse = (dx * dx + dy * dy).sqrt();
+        prop_assert!(r.rmse <= naive_rmse + 1e-9, "rmse {} vs naive {}", r.rmse, naive_rmse);
+    }
+}

@@ -1,0 +1,39 @@
+//! **Ablation** — stage-2 correspondences from box *corners* vs box
+//! *centres*.
+//!
+//! The paper pairs the canonically ordered corners of overlapping boxes
+//! (4 correspondences per pair, orientation-aware). The centre-pairing
+//! baseline discards box orientation and needs several boxes for any
+//! rotation signal.
+
+use bb_align::{BbAlignConfig, BoxPairing};
+use bba_bench::cli;
+use bba_bench::harness::compare_engines;
+use bba_bench::report::banner;
+
+fn main() {
+    let opts = cli::parse(48, "ablation_corner_pairing — box corners vs box centres in stage 2");
+    banner(
+        "Ablation: stage-2 correspondence construction",
+        &format!("{} frame pairs per variant", opts.frames),
+    );
+
+    let corners = BbAlignConfig::default();
+    let mut centers = BbAlignConfig::default();
+    centers.box_pairing = BoxPairing::Centers;
+    // Centre pairing yields 1 correspondence per box; the inlier criterion
+    // scales down accordingly.
+    centers.ransac_box.min_inliers = 2;
+    centers.min_inliers_box = 2;
+
+    compare_engines(
+        &[("corner pairing (paper)", corners), ("centre pairing", centers)],
+        opts.frames,
+        opts.seed,
+    );
+
+    println!(
+        "\nexpected: corner pairing extracts more constraint per box (orientation and\n\
+         4x the correspondences), tightening the stage-2 refinement."
+    );
+}

@@ -1,0 +1,40 @@
+//! **Ablation** — keypoint detection on the MIM amplitude map vs directly
+//! on the raw BV image.
+//!
+//! The paper detects FAST keypoints on the BV image; this reproduction
+//! defaults to the Log-Gabor amplitude map, whose band-pass smoothness
+//! makes corners far more repeatable on aliased synthetic rasters (see
+//! DESIGN.md, "Deviations"). This ablation quantifies the difference.
+
+use bb_align::{BbAlignConfig, KeypointSource};
+use bba_bench::cli;
+use bba_bench::harness::compare_engines;
+use bba_bench::report::banner;
+
+fn main() {
+    let opts = cli::parse(48, "ablation_keypoint_source — MIM amplitude vs raw BV keypoints");
+    banner(
+        "Ablation: keypoint detection image",
+        &format!("{} frame pairs per variant", opts.frames),
+    );
+
+    let amplitude = BbAlignConfig::default();
+    let mut raw_bv = BbAlignConfig::default();
+    raw_bv.keypoint_source = KeypointSource::BvImage;
+    // On raw height maps the FAST threshold is in metres of height
+    // contrast rather than normalised amplitude.
+    raw_bv.keypoints.threshold = 0.8;
+
+    compare_engines(
+        &[("MIM amplitude (default)", amplitude), ("raw BV image (paper literal)", raw_bv)],
+        opts.frames,
+        opts.seed,
+    );
+
+    println!(
+        "\nexpected: comparable at dense sensing (the raw-BV source can even be\n\
+         slightly tighter); the amplitude map earns its default status at coarser\n\
+         sensor densities, where raw-raster FAST corners stop repeating across\n\
+         viewpoints."
+    );
+}

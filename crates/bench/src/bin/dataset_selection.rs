@@ -1,0 +1,77 @@
+//! **§V dataset selection** — fraction of frames where both cars commonly
+//! observe at least two vehicles.
+//!
+//! The paper keeps 12K of 20K V2V4Real frames (60 %) under this predicate,
+//! noting that excluded frames come from distance, occlusion, or divergent
+//! headings. This binary measures the same statistic over the synthetic
+//! scenario mix, broken down by preset and separation.
+
+use bba_bench::cli;
+use bba_bench::report::{banner, pct, print_table};
+use bba_dataset::{Dataset, DatasetConfig};
+use bba_scene::{ScenarioConfig, ScenarioPreset};
+
+fn main() {
+    let opts = cli::parse(120, "dataset_selection — §V frame-selection statistics");
+    banner(
+        "Dataset selection (§V): frames with ≥2 commonly observed cars",
+        &format!("{} frames across presets and separations", opts.frames),
+    );
+
+    let presets = [
+        ScenarioPreset::Urban,
+        ScenarioPreset::Suburban,
+        ScenarioPreset::Highway,
+        ScenarioPreset::OpenRural,
+        ScenarioPreset::ParkingLot,
+    ];
+    let separations = [25.0, 40.0, 60.0, 80.0];
+    let per_cell = (opts.frames / (presets.len() * separations.len())).max(1);
+
+    let mut rows = vec![{
+        let mut h = vec!["preset".to_string()];
+        h.extend(separations.iter().map(|s| format!("{s:.0} m")));
+        h.push("preset total".into());
+        h
+    }];
+    let mut grand_selected = 0usize;
+    let mut grand_total = 0usize;
+
+    for (pi, preset) in presets.iter().enumerate() {
+        let mut row = vec![format!("{preset:?}")];
+        let mut preset_selected = 0usize;
+        let mut preset_total = 0usize;
+        for (si, sep) in separations.iter().enumerate() {
+            let mut selected = 0usize;
+            for k in 0..per_cell {
+                let mut dcfg = DatasetConfig::standard();
+                dcfg.scenario = ScenarioConfig::preset(*preset).with_separation(*sep);
+                let seed = opts
+                    .seed
+                    .wrapping_add((pi * 1009 + si * 101 + k) as u64 * 37);
+                let mut ds = Dataset::new(dcfg, seed);
+                if ds.next_pair().unwrap().is_selected() {
+                    selected += 1;
+                }
+            }
+            preset_selected += selected;
+            preset_total += per_cell;
+            row.push(pct(selected as f64 / per_cell as f64));
+        }
+        grand_selected += preset_selected;
+        grand_total += preset_total;
+        row.push(pct(preset_selected as f64 / preset_total as f64));
+        rows.push(row);
+    }
+    print_table(&rows);
+
+    println!(
+        "\noverall selection rate: {} ({grand_selected}/{grand_total})",
+        pct(grand_selected as f64 / grand_total.max(1) as f64)
+    );
+    println!(
+        "paper reference: 12K of 20K frames (60%) selected; exclusions driven by\n\
+         distance, occlusion and sparse surroundings — the same gradients visible\n\
+         across the separation columns and the open-rural row here."
+    );
+}

@@ -1,0 +1,103 @@
+//! **Extension experiment** — temporal tracking over driving sequences.
+//!
+//! Beyond the paper: per-frame recoveries feed a constant-velocity tracker
+//! with innovation gating (`bb_align::tracking`). Over multi-frame
+//! sequences this measures (a) how much smoothing/gating improves on raw
+//! per-frame recovery, and (b) how well a half-duty-cycle deployment
+//! (recover every other frame, extrapolate between) holds up — the paper's
+//! future-work point on time efficiency.
+
+use bb_align::{BbAlign, BbAlignConfig, PoseTracker, TrackerConfig};
+use bba_bench::cli;
+use bba_bench::harness::frames_of;
+use bba_bench::report::{banner, opt, print_table};
+use bba_bench::stats::percentile;
+use bba_dataset::{Dataset, DatasetConfig};
+use bba_scene::{ScenarioConfig, ScenarioPreset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = cli::parse(6, "ext_tracking — tracked vs per-frame recovery over sequences");
+    let frames_per_seq = 10usize;
+    banner(
+        "Extension: temporal pose tracking",
+        &format!("{} sequences × {frames_per_seq} frames, urban + curved suburban", opts.frames),
+    );
+
+    let aligner = BbAlign::new(BbAlignConfig::default());
+    let mut raw_errs: Vec<f64> = Vec::new();
+    let mut tracked_errs: Vec<f64> = Vec::new();
+    let mut half_duty_errs: Vec<f64> = Vec::new();
+    let mut raw_gross = 0usize;
+    let mut tracked_gross = 0usize;
+
+    for s in 0..opts.frames {
+        let mut dcfg = DatasetConfig::standard();
+        dcfg.scenario = match s % 2 {
+            0 => ScenarioConfig::preset(ScenarioPreset::Urban),
+            _ => ScenarioConfig::preset(ScenarioPreset::Suburban).with_curvature(1.0 / 400.0),
+        };
+        let mut ds = Dataset::new(dcfg, opts.seed.wrapping_add(s as u64 * 911));
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ s as u64);
+        let mut full_tracker = PoseTracker::new(TrackerConfig::default());
+        let mut half_tracker = PoseTracker::new(TrackerConfig::default());
+
+        for k in 0..frames_per_seq {
+            let pair = ds.next_pair().unwrap();
+            let (ego, other) = frames_of(&aligner, &pair);
+            let recovery = aligner.recover(&ego, &other, &mut rng).ok();
+
+            if let Some(r) = &recovery {
+                let (dt, _) = r.transform.error_to(&pair.true_relative);
+                raw_errs.push(dt);
+                if dt > 5.0 {
+                    raw_gross += 1;
+                }
+                full_tracker.update(pair.time, r);
+                if k % 2 == 0 {
+                    half_tracker.update(pair.time, r);
+                }
+            }
+            if let Some(p) = full_tracker.predict(pair.time) {
+                let (dt, _) = p.error_to(&pair.true_relative);
+                tracked_errs.push(dt);
+                if dt > 5.0 {
+                    tracked_gross += 1;
+                }
+            }
+            if let Some(p) = half_tracker.predict(pair.time) {
+                let (dt, _) = p.error_to(&pair.true_relative);
+                half_duty_errs.push(dt);
+            }
+        }
+        eprintln!("  [sequence {}/{}]", s + 1, opts.frames);
+    }
+
+    let row = |label: &str, v: &[f64], gross: Option<usize>| {
+        vec![
+            label.to_string(),
+            v.len().to_string(),
+            opt(percentile(v, 50.0), 2),
+            opt(percentile(v, 90.0), 2),
+            gross.map_or("-".into(), |g| g.to_string()),
+        ]
+    };
+    print_table(&[
+        vec![
+            "estimator".to_string(),
+            "n".to_string(),
+            "median dt (m)".to_string(),
+            "p90 dt (m)".to_string(),
+            "gross (>5 m)".to_string(),
+        ],
+        row("per-frame recovery (raw)", &raw_errs, Some(raw_gross)),
+        row("tracked (full rate)", &tracked_errs, Some(tracked_gross)),
+        row("tracked (half duty cycle)", &half_duty_errs, None),
+    ]);
+
+    println!(
+        "\nexpected: tracking suppresses the gross per-frame aliases (gating) at similar\n\
+         median accuracy; the half-duty-cycle track stays usable, halving compute."
+    );
+}

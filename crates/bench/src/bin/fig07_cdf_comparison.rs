@@ -1,0 +1,95 @@
+//! **Figure 7** — Pose recovery accuracy comparison (BB-Align vs VIPS).
+//!
+//! Reproduces the CDFs of translation and rotation error over a mixed pool
+//! of scenarios. Paper reference points: ≈60 % of BB-Align estimates under
+//! 1 m translation error vs ≈30 % for graph matching; rotation errors
+//! comparable between methods.
+
+use bba_bench::cli;
+use bba_bench::harness::{
+    bb_rotation_errors_deg, bb_translation_errors, run_pool, vips_rotation_errors_deg,
+    vips_translation_errors, PoolConfig,
+};
+use bba_bench::report::{banner, pct, print_table};
+use bba_bench::stats::fraction_below;
+
+fn main() {
+    let opts = cli::parse(90, "fig07_cdf_comparison — error CDFs, BB-Align vs VIPS");
+    banner(
+        "Figure 7: pose recovery accuracy comparison",
+        &format!("{} frame pairs over mixed urban/suburban/highway scenarios", opts.frames),
+    );
+
+    let mut cfg = PoolConfig::default();
+    cfg.frames = opts.frames;
+    cfg.seed = opts.seed;
+    // Real V2V drives span sparse to dense traffic; the overall CDF
+    // comparison must include the light-traffic regime where graph
+    // matching struggles (paper §II / Fig. 8).
+    cfg.traffic_counts = vec![1, 2, 3, 5, 8, 12];
+    let records = run_pool(&cfg);
+    bba_bench::harness::maybe_dump_json(&records, &opts);
+
+    // CDFs are computed over ALL attempted pairs: a failed recovery is an
+    // infinite error, so solve-rate differences show up in the curves
+    // instead of being hidden by conditioning on success.
+    let pad = |mut v: Vec<f64>, n: usize| {
+        v.resize(n, f64::INFINITY);
+        v
+    };
+    let n = records.len();
+    let bb_t = pad(bb_translation_errors(&records), n);
+    let bb_r = pad(bb_rotation_errors_deg(&records), n);
+    let vips_t = pad(vips_translation_errors(&records), n);
+    let vips_r = pad(vips_rotation_errors_deg(&records), n);
+
+    println!(
+        "attempted pairs: {}; BB-Align solved {}, VIPS solved {}\n",
+        n,
+        bb_t.iter().filter(|x| x.is_finite()).count(),
+        vips_t.iter().filter(|x| x.is_finite()).count()
+    );
+
+    let thresholds = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0];
+    let mut rows = vec![vec![
+        "translation err <".to_string(),
+        "BB-Align".to_string(),
+        "VIPS".to_string(),
+    ]];
+    for &t in &thresholds {
+        rows.push(vec![
+            format!("{t} m"),
+            pct(fraction_below(&bb_t, t)),
+            pct(fraction_below(&vips_t, t)),
+        ]);
+    }
+    print_table(&rows);
+    println!();
+
+    let rot_thresholds = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0];
+    let mut rows = vec![vec![
+        "rotation err <".to_string(),
+        "BB-Align".to_string(),
+        "VIPS".to_string(),
+    ]];
+    for &t in &rot_thresholds {
+        rows.push(vec![
+            format!("{t}°"),
+            pct(fraction_below(&bb_r, t)),
+            pct(fraction_below(&vips_r, t)),
+        ]);
+    }
+    print_table(&rows);
+
+    println!(
+        "\npaper reference: BB-Align ~60% < 1 m translation vs ~30% for graph matching;\n\
+         rotation CDFs comparable between methods."
+    );
+    println!(
+        "measured:        BB-Align {} < 1 m vs VIPS {}; rotation < 1°: BB-Align {} vs VIPS {}",
+        pct(fraction_below(&bb_t, 1.0)),
+        pct(fraction_below(&vips_t, 1.0)),
+        pct(fraction_below(&bb_r, 1.0)),
+        pct(fraction_below(&vips_r, 1.0)),
+    );
+}

@@ -1,0 +1,91 @@
+//! **Figure 8** — Pose recovery accuracy w.r.t. commonly observed cars.
+//!
+//! Reproduces the box plots (10/25/50/75/90th percentiles of translation
+//! error) bucketed by the number of cars observed by both vehicles, for
+//! BB-Align and VIPS. Paper shape: the graph-matching baseline collapses
+//! under sparse traffic (< 3 common cars) and improves with density, yet
+//! stays worse than BB-Align throughout.
+
+use bba_bench::cli;
+use bba_bench::harness::{run_pool, PoolConfig};
+use bba_bench::report::{banner, opt, print_table};
+use bba_bench::stats::box_plot_summary;
+use bba_scene::ScenarioPreset;
+
+fn main() {
+    let opts = cli::parse(96, "fig08_common_cars — error percentiles vs common cars");
+    banner(
+        "Figure 8: translation error vs commonly observed cars",
+        &format!("{} frame pairs, traffic swept 1..16 vehicles", opts.frames),
+    );
+
+    let mut cfg = PoolConfig::default();
+    cfg.frames = opts.frames;
+    cfg.seed = opts.seed;
+    cfg.presets = vec![ScenarioPreset::Urban, ScenarioPreset::Suburban];
+    cfg.traffic_counts = vec![1, 2, 3, 4, 6, 8, 12, 16];
+    let records = run_pool(&cfg);
+    bba_bench::harness::maybe_dump_json(&records, &opts);
+
+    // Buckets over the observed common-car counts.
+    let buckets: [(&str, std::ops::Range<usize>); 4] =
+        [("1-2", 1..3), ("3-5", 3..6), ("6-9", 6..10), ("10+", 10..usize::MAX)];
+
+    let mut rows = vec![vec![
+        "common cars".to_string(),
+        "n".to_string(),
+        "BB p10/p25/p50/p75/p90 (m)".to_string(),
+        "VIPS p10/p25/p50/p75/p90 (m)".to_string(),
+    ]];
+    for (label, range) in &buckets {
+        let in_bucket: Vec<_> =
+            records.iter().filter(|r| range.contains(&r.common_cars)).collect();
+        // BB-Align's stage 1 needs no cars at all, so this figure filters
+        // on stage-1 confidence only (the full success criterion would
+        // empty the sparse-traffic bucket by construction: no cars, no
+        // box inliers).
+        let bb: Vec<f64> = in_bucket
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.inliers_bv > 25).map(|b| b.dt))
+            .collect();
+        let vips: Vec<f64> = in_bucket.iter().filter_map(|r| r.vips.map(|(t, _)| t)).collect();
+        let fmt5 = |v: Option<[f64; 5]>| match v {
+            Some(s) => format!("{:.2}/{:.2}/{:.2}/{:.2}/{:.2}", s[0], s[1], s[2], s[3], s[4]),
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            label.to_string(),
+            in_bucket.len().to_string(),
+            fmt5(box_plot_summary(&bb)),
+            fmt5(box_plot_summary(&vips)),
+        ]);
+    }
+    print_table(&rows);
+
+    // Median trend check.
+    let med = |range: &std::ops::Range<usize>, vips: bool| -> Option<f64> {
+        let vals: Vec<f64> = records
+            .iter()
+            .filter(|r| range.contains(&r.common_cars))
+            .filter_map(|r| {
+                if vips {
+                    r.vips.map(|(t, _)| t)
+                } else {
+                    r.bb.as_ref().filter(|b| b.inliers_bv > 25).map(|b| b.dt)
+                }
+            })
+            .collect();
+        bba_bench::stats::percentile(&vals, 50.0)
+    };
+    println!(
+        "\npaper reference: VIPS median error falls as common cars increase but stays above\n\
+         BB-Align's; BB-Align is roughly flat across traffic density."
+    );
+    println!(
+        "measured medians (sparse 1-2 vs dense 10+): VIPS {} -> {} m; BB-Align {} -> {} m",
+        opt(med(&(1..3), true), 2),
+        opt(med(&(10..usize::MAX), true), 2),
+        opt(med(&(1..3), false), 2),
+        opt(med(&(10..usize::MAX), false), 2),
+    );
+}

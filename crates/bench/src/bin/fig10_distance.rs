@@ -1,0 +1,68 @@
+//! **Figure 10** — Pose recovery accuracy w.r.t. inter-vehicle distance.
+//!
+//! Reproduces the error CDFs for distance bands [0, 70) m and [70, 100] m.
+//! Paper reference: within 70 m, ~80 % of recoveries are under 1 m and 1°;
+//! beyond 70 m translation accuracy degrades while rotation stays ~1° for
+//! ~70 % of pairs.
+
+use bba_bench::cli;
+use bba_bench::harness::{run_pool, PoolConfig};
+use bba_bench::report::{banner, pct, print_table};
+use bba_bench::stats::fraction_below;
+
+fn main() {
+    let opts = cli::parse(108, "fig10_distance — error CDFs by distance band");
+    banner(
+        "Figure 10: accuracy vs inter-vehicle distance",
+        &format!("{} frame pairs, separations swept 15..95 m", opts.frames),
+    );
+
+    let mut cfg = PoolConfig::default();
+    cfg.frames = opts.frames;
+    cfg.seed = opts.seed;
+    cfg.run_vips = false;
+    cfg.separations = vec![15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 75.0, 85.0, 95.0];
+    let records = run_pool(&cfg);
+    bba_bench::harness::maybe_dump_json(&records, &opts);
+
+    let bands: [(&str, std::ops::Range<f64>); 2] =
+        [("[0, 70) m", 0.0..70.0), ("[70, 100] m", 70.0..100.5)];
+
+    let mut rows = vec![vec![
+        "distance band".to_string(),
+        "pairs".to_string(),
+        "solved".to_string(),
+        "trans <1 m".to_string(),
+        "trans <2 m".to_string(),
+        "rot <1°".to_string(),
+        "rot <2°".to_string(),
+    ]];
+    for (label, range) in &bands {
+        let in_band: Vec<_> = records.iter().filter(|r| range.contains(&r.distance)).collect();
+        // Per §V-A, accuracy analysis is restricted to successful
+        // recoveries (the success-rate binary quantifies the rest).
+        let dts: Vec<f64> = in_band
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.success).map(|b| b.dt))
+            .collect();
+        let drs: Vec<f64> = in_band
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.success).map(|b| b.dr.to_degrees()))
+            .collect();
+        rows.push(vec![
+            label.to_string(),
+            in_band.len().to_string(),
+            dts.len().to_string(),
+            pct(fraction_below(&dts, 1.0)),
+            pct(fraction_below(&dts, 2.0)),
+            pct(fraction_below(&drs, 1.0)),
+            pct(fraction_below(&drs, 2.0)),
+        ]);
+    }
+    print_table(&rows);
+
+    println!(
+        "\npaper reference: [0,70) m -> ~80% under 1 m & 1°; beyond 70 m translation\n\
+         degrades while ~70% stay under ~1° rotation."
+    );
+}

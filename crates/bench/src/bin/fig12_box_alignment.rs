@@ -1,0 +1,69 @@
+//! **Figure 12** — Box-alignment accuracy w.r.t. commonly observed cars.
+//!
+//! Reproduces the full-pipeline (stage 2 on top of stage 1) error
+//! percentiles per common-car bucket. Paper shape: more common cars =>
+//! more boxes to anchor on => tighter errors; with <3 cars accuracy
+//! deteriorates but ~50 % of pairs still land under 1 m; with >10 cars
+//! >90 % are under 0.3 m and 0.8°.
+
+use bba_bench::cli;
+use bba_bench::harness::{run_pool, PoolConfig};
+use bba_bench::report::{banner, pct, print_table};
+use bba_bench::stats::{box_plot_summary, fraction_below};
+use bba_scene::ScenarioPreset;
+
+fn main() {
+    let opts = cli::parse(96, "fig12_box_alignment — full-pipeline accuracy vs common cars");
+    banner(
+        "Figure 12: box alignment accuracy vs commonly observed cars",
+        &format!("{} frame pairs, traffic swept 1..16 vehicles", opts.frames),
+    );
+
+    let mut cfg = PoolConfig::default();
+    cfg.frames = opts.frames;
+    cfg.seed = opts.seed;
+    cfg.run_vips = false;
+    cfg.presets = vec![ScenarioPreset::Urban, ScenarioPreset::Suburban];
+    cfg.traffic_counts = vec![1, 2, 3, 4, 6, 8, 12, 16];
+    let records = run_pool(&cfg);
+    bba_bench::harness::maybe_dump_json(&records, &opts);
+
+    let buckets: [(&str, std::ops::Range<usize>); 4] =
+        [("1-2", 1..3), ("3-5", 3..6), ("6-9", 6..10), ("10+", 10..usize::MAX)];
+
+    let mut rows = vec![vec![
+        "common cars".to_string(),
+        "solved".to_string(),
+        "dt p10/p50/p90 (m)".to_string(),
+        "<1 m".to_string(),
+        "<0.3 m".to_string(),
+        "<0.8°".to_string(),
+    ]];
+    for (label, range) in &buckets {
+        let sel: Vec<_> = records
+            .iter()
+            .filter(|r| range.contains(&r.common_cars))
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.success))
+            .collect();
+        let dts: Vec<f64> = sel.iter().map(|s| s.dt).collect();
+        let drs: Vec<f64> = sel.iter().map(|s| s.dr.to_degrees()).collect();
+        let p = box_plot_summary(&dts);
+        rows.push(vec![
+            label.to_string(),
+            sel.len().to_string(),
+            match p {
+                Some(s) => format!("{:.2}/{:.2}/{:.2}", s[0], s[2], s[4]),
+                None => "-".into(),
+            },
+            pct(fraction_below(&dts, 1.0)),
+            pct(fraction_below(&dts, 0.3)),
+            pct(fraction_below(&drs, 0.8)),
+        ]);
+    }
+    print_table(&rows);
+
+    println!(
+        "\npaper reference: accuracy deteriorates quickly below 3 common cars (yet ~50%\n\
+         of pairs stay <1 m); with >10 cars, >90% under 0.3 m and 0.8°."
+    );
+}

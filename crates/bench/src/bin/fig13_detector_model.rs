@@ -1,0 +1,64 @@
+//! **Figure 13** — Impact of the object-detection model on box alignment.
+//!
+//! Reproduces the comparison between a coBEVT-profile and an
+//! F-Cooper-profile detector feeding stage 2. Paper claim: "the choice of
+//! model plays a minor role" — BB-Align is detector-agnostic.
+
+use bba_bench::cli;
+use bba_bench::harness::{run_pool, PoolConfig};
+use bba_bench::report::{banner, pct, print_table};
+use bba_bench::stats::{fraction_below, percentile};
+use bba_detect::DetectorModel;
+
+fn main() {
+    let opts = cli::parse(72, "fig13_detector_model — coBEVT vs F-Cooper detector profiles");
+    banner(
+        "Figure 13: pose recovery accuracy per detection model",
+        &format!("{} frame pairs per model over mixed scenarios", opts.frames),
+    );
+
+    let mut rows = vec![vec![
+        "detector".to_string(),
+        "solved".to_string(),
+        "median dt (m)".to_string(),
+        "trans <1 m".to_string(),
+        "rot <1°".to_string(),
+    ]];
+    let mut medians = Vec::new();
+    for model in [DetectorModel::CoBevt, DetectorModel::FCooper] {
+        let mut cfg = PoolConfig::default();
+        cfg.frames = opts.frames;
+        cfg.seed = opts.seed;
+        cfg.run_vips = false;
+        cfg.dataset.detector = model;
+        let records = run_pool(&cfg);
+    bba_bench::harness::maybe_dump_json(&records, &opts);
+        let dts: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.success).map(|b| b.dt))
+            .collect();
+        let drs: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.success).map(|b| b.dr.to_degrees()))
+            .collect();
+        let med = percentile(&dts, 50.0).unwrap_or(f64::NAN);
+        medians.push(med);
+        rows.push(vec![
+            format!("{model:?}"),
+            dts.len().to_string(),
+            format!("{med:.2}"),
+            pct(fraction_below(&dts, 1.0)),
+            pct(fraction_below(&drs, 1.0)),
+        ]);
+    }
+    print_table(&rows);
+
+    println!(
+        "\npaper reference: the two detectors produce nearly identical recovery accuracy\n\
+         (model choice plays a minor role)."
+    );
+    println!(
+        "measured: median translation error {:.2} m (coBEVT) vs {:.2} m (F-Cooper)",
+        medians[0], medians[1]
+    );
+}

@@ -1,0 +1,76 @@
+//! **Figure 14** — Ablation: accuracy with and without stage-2 box
+//! alignment.
+//!
+//! Paper shape: removing box alignment markedly increases translation
+//! error (stage 2 predominantly corrects translation residuals caused by
+//! self-motion distortion), while rotation is less affected.
+
+use bb_align::BbAlignConfig;
+use bba_bench::cli;
+use bba_bench::harness::{run_pool, PoolConfig};
+use bba_bench::report::{banner, opt, print_table};
+use bba_bench::stats::percentile;
+
+fn main() {
+    let opts = cli::parse(72, "fig14_ablation — with vs without stage-2 box alignment");
+    banner(
+        "Figure 14: ablation of the second-stage box alignment",
+        &format!("{} frame pairs per arm over mixed scenarios", opts.frames),
+    );
+
+    let mut rows = vec![vec![
+        "pipeline".to_string(),
+        "solved".to_string(),
+        "dt p25/p50/p75 (m)".to_string(),
+        "dr p25/p50/p75 (°)".to_string(),
+    ]];
+    let mut medians = Vec::new();
+    for (label, with_stage2) in [("two-stage (full)", true), ("stage 1 only", false)] {
+        let mut cfg = PoolConfig::default();
+        cfg.frames = opts.frames;
+        cfg.seed = opts.seed;
+        cfg.run_vips = false;
+        cfg.engine = if with_stage2 {
+            BbAlignConfig::default()
+        } else {
+            BbAlignConfig::default().without_box_alignment()
+        };
+        let records = run_pool(&cfg);
+    bba_bench::harness::maybe_dump_json(&records, &opts);
+        // The stage-1-only arm can never meet the full success criterion
+        // (it has no box inliers), so both arms are filtered on the
+        // stage-1 confidence signal alone to stay comparable.
+        let confident = |b: &&bba_bench::harness::RecoveryStats| b.inliers_bv > 25;
+        let dts: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(confident).map(|b| b.dt))
+            .collect();
+        let drs: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.bb.as_ref().filter(confident).map(|b| b.dr.to_degrees()))
+            .collect();
+        medians.push((percentile(&dts, 50.0), percentile(&drs, 50.0)));
+        let p3 = |v: &[f64]| {
+            format!(
+                "{}/{}/{}",
+                opt(percentile(v, 25.0), 2),
+                opt(percentile(v, 50.0), 2),
+                opt(percentile(v, 75.0), 2)
+            )
+        };
+        rows.push(vec![label.to_string(), dts.len().to_string(), p3(&dts), p3(&drs)]);
+    }
+    print_table(&rows);
+
+    println!(
+        "\npaper reference: excluding box alignment markedly increases translation error;\n\
+         the 75th-percentile rotation error stays comparatively stable."
+    );
+    println!(
+        "measured medians: full {} m / {}°, stage-1-only {} m / {}°",
+        opt(medians[0].0, 2),
+        opt(medians[0].1, 2),
+        opt(medians[1].0, 2),
+        opt(medians[1].1, 2),
+    );
+}

@@ -1,0 +1,107 @@
+//! **Table I** — Cooperative object detection under corrupted pose, with
+//! and without BB-Align pose recovery.
+//!
+//! For every fusion method (early / late / F-Cooper / coBEVT), every frame
+//! pair is fused twice: once with the corrupted pose (`σ_t = 2 m`,
+//! `σ_θ = 2°` Gaussian noise, the paper's protocol) and once with the pose
+//! recovered by BB-Align from the shared BV image + boxes (falling back to
+//! the corrupted pose when recovery fails, as a deployed system would).
+//! AP@IoU 0.5/0.7 is reported over the paper's range bands.
+//!
+//! Paper shape: corruption caps every method below 35.0/20.0; recovery
+//! roughly doubles early/late-fusion AP@0.5 and lifts all methods, most at
+//! close range (0–30 m AP@0.5 above 60).
+
+use bb_align::{BbAlign, BbAlignConfig};
+use bba_bench::cli;
+use bba_bench::harness::frames_of;
+use bba_bench::report::{banner, print_table};
+use bba_dataset::{Dataset, DatasetConfig, FramePair, PoseNoise};
+use bba_detect::{evaluate_detections, Detection, GroundTruthBox, RangeBand};
+use bba_fusion::{FusionExperiment, FusionMethod};
+use bba_geometry::Iso2;
+use bba_scene::{ScenarioConfig, ScenarioPreset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = cli::parse(48, "table1_detection_ap — cooperative detection AP under pose error");
+    banner(
+        "Table I: AP@IoU 0.5/0.7 with corrupted vs recovered pose",
+        &format!("{} frame pairs, σ_t = 2 m, σ_θ = 2°", opts.frames),
+    );
+
+    // Generate the shared pool of frame pairs with both poses.
+    let aligner = BbAlign::new(BbAlignConfig::default());
+    let noise = PoseNoise::table1();
+    let mut pool: Vec<(FramePair, Iso2, Iso2)> = Vec::new(); // (pair, corrupted, recovered)
+    let presets = [ScenarioPreset::Urban, ScenarioPreset::Suburban];
+    let per_scenario = 4usize;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut recovered_ok = 0usize;
+
+    let n_scenarios = opts.frames.div_ceil(per_scenario);
+    for s in 0..n_scenarios {
+        let mut dcfg = DatasetConfig::standard();
+        dcfg.scenario = ScenarioConfig::preset(presets[s % presets.len()]);
+        let mut ds = Dataset::new(dcfg, opts.seed.wrapping_add(s as u64 * 104729));
+        for _ in 0..per_scenario {
+            if pool.len() >= opts.frames {
+                break;
+            }
+            let pair = ds.next_pair().unwrap();
+            let corrupted = noise.corrupt(&pair.true_relative, &mut rng);
+            let (ego, other) = frames_of(&aligner, &pair);
+            let recovered = match aligner.recover(&ego, &other, &mut rng) {
+                Ok(r) => {
+                    recovered_ok += 1;
+                    r.transform
+                }
+                Err(_) => corrupted, // recovery unavailable: keep GPS pose
+            };
+            pool.push((pair, corrupted, recovered));
+            if pool.len() % 8 == 0 {
+                eprintln!("  [{}/{} pairs prepared]", pool.len(), opts.frames);
+            }
+        }
+    }
+    println!("pose recovery succeeded on {recovered_ok}/{} pairs\n", pool.len());
+
+    // Evaluate every method under both poses.
+    let bands = RangeBand::table1_bands();
+    let mut rows = vec![{
+        let mut h = vec!["Method".to_string(), "Pose".to_string()];
+        h.extend(bands.iter().map(|(n, _)| n.to_string()));
+        h
+    }];
+    for method in FusionMethod::ALL {
+        let exp = FusionExperiment::new(method);
+        for (pose_label, pick) in [
+            ("σt=2m,σθ=2°", 1usize), // corrupted
+            ("Recovered", 2usize),
+        ] {
+            let mut eval_rng = StdRng::seed_from_u64(opts.seed ^ 0xABCD);
+            let frames: Vec<(Vec<Detection>, Vec<GroundTruthBox>)> = pool
+                .iter()
+                .map(|(pair, corrupted, recovered)| {
+                    let pose = if pick == 1 { corrupted } else { recovered };
+                    exp.run_frame(pair, pose, &mut eval_rng)
+                })
+                .collect();
+            let mut row = vec![method.name().to_string(), pose_label.to_string()];
+            for (_, band) in &bands {
+                let ap50 = evaluate_detections(&frames, 0.5, *band).ap;
+                let ap70 = evaluate_detections(&frames, 0.7, *band).ap;
+                row.push(format!("{:.1}/{:.1}", 100.0 * ap50, 100.0 * ap70));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(&rows);
+
+    println!(
+        "\npaper reference (shape): corrupted pose caps all methods below 35/20 overall;\n\
+         recovery roughly doubles early/late AP@0.5 and helps most at 0-30 m\n\
+         (all methods above 60 AP@0.5 there); long range gains are modest."
+    );
+}

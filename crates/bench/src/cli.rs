@@ -1,0 +1,102 @@
+//! Minimal command-line parsing shared by all experiment binaries.
+//!
+//! Each binary accepts:
+//!
+//! * `--frames N` — number of frame pairs to evaluate (default varies per
+//!   experiment; larger = smoother curves, linear runtime).
+//! * `--seed S` — master random seed (default 2024).
+//! * `--help` — prints usage and exits.
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Number of frame pairs to evaluate.
+    pub frames: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional path to dump raw per-pair records as JSON (for plotting).
+    pub json: Option<std::path::PathBuf>,
+}
+
+/// Parses `std::env::args`, with per-experiment defaults.
+///
+/// Exits the process with usage text on `--help` or malformed input.
+pub fn parse(default_frames: usize, description: &str) -> Options {
+    parse_from(std::env::args().skip(1), default_frames, description).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(if msg.starts_with("usage") { 0 } else { 2 });
+    })
+}
+
+/// Testable core of [`parse`].
+pub fn parse_from(
+    args: impl IntoIterator<Item = String>,
+    default_frames: usize,
+    description: &str,
+) -> Result<Options, String> {
+    let usage = format!(
+        "usage: {description}\n  --frames N   frame pairs to evaluate (default {default_frames})\n  --seed S     master random seed (default 2024)\n  --json PATH  dump raw per-pair records as JSON"
+    );
+    let mut opts = Options { frames: default_frames, seed: 2024, json: None };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--frames" => {
+                let v = it.next().ok_or_else(|| "--frames needs a value".to_string())?;
+                opts.frames =
+                    v.parse().map_err(|_| format!("invalid --frames value: {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| "--seed needs a value".to_string())?;
+                opts.seed = v.parse().map_err(|_| format!("invalid --seed value: {v}"))?;
+            }
+            "--json" => {
+                let v = it.next().ok_or_else(|| "--json needs a path".to_string())?;
+                opts.json = Some(std::path::PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(usage),
+            other => return Err(format!("unknown argument: {other}\n{usage}")),
+        }
+    }
+    if opts.frames == 0 {
+        return Err("--frames must be positive".into());
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse_from(argv(""), 100, "test").unwrap();
+        assert_eq!(o, Options { frames: 100, seed: 2024, json: None });
+    }
+
+    #[test]
+    fn overrides_parse() {
+        let o = parse_from(argv("--frames 7 --seed 42"), 100, "test").unwrap();
+        assert_eq!(o, Options { frames: 7, seed: 42, json: None });
+        let o = parse_from(argv("--json out.json"), 100, "test").unwrap();
+        assert_eq!(o.json, Some(std::path::PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let e = parse_from(argv("--help"), 100, "test").unwrap_err();
+        assert!(e.starts_with("usage"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(parse_from(argv("--bogus"), 100, "t").is_err());
+        assert!(parse_from(argv("--frames abc"), 100, "t").is_err());
+        assert!(parse_from(argv("--frames 0"), 100, "t").is_err());
+        assert!(parse_from(argv("--frames"), 100, "t").is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness for the BB-Align reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a binary in
+//! `src/bin/` that regenerates it (see `DESIGN.md` for the index); this
+//! library holds their shared machinery:
+//!
+//! * [`harness`] — the frame-pair pool driver: generates scenarios, runs
+//!   BB-Align (both stages) and the VIPS baseline on every pair, and
+//!   collects one [`harness::PairRecord`] per pair.
+//! * [`stats`] — percentiles, CDFs and bucketing.
+//! * [`report`] — aligned text tables matching the paper's presentation.
+//! * [`cli`] — a tiny `--frames/--seed` argument parser so every binary
+//!   scales from a smoke run to a full reproduction.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bba_bench::harness::{run_pool, PoolConfig};
+//!
+//! let mut cfg = PoolConfig::default();
+//! cfg.frames = 24;
+//! let records = run_pool(&cfg);
+//! let ok = records.iter().filter(|r| r.bb.is_some()).count();
+//! println!("{ok}/{} recoveries", records.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod harness;
+pub mod report;
+pub mod stats;

@@ -1,0 +1,103 @@
+//! Aligned plain-text tables for experiment output.
+
+/// Prints a header banner for an experiment.
+pub fn banner(title: &str, detail: &str) {
+    println!("\n=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+/// Renders rows as an aligned text table. The first row is the header.
+///
+/// ```
+/// use bba_bench::report::render_table;
+/// let t = render_table(&[
+///     vec!["method".into(), "AP".into()],
+///     vec!["BB-Align".into(), "0.71".into()],
+/// ]);
+/// assert!(t.contains("BB-Align"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Prints a rendered table.
+pub fn print_table(rows: &[Vec<String>]) {
+    print!("{}", render_table(rows));
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", 100.0 * fraction)
+}
+
+/// Formats an `Option<f64>` metric with fixed decimals, or `-`.
+pub fn opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "-".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["wide-cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Second column starts at the same offset in header and body.
+        let h = lines[0].find("long-header").unwrap();
+        let b = lines[2].find('x').unwrap();
+        assert_eq!(h, b);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.8), "80.0%");
+        assert_eq!(opt(Some(1.23456), 2), "1.23");
+        assert_eq!(opt(None, 2), "-");
+    }
+}

@@ -1,0 +1,30 @@
+//! Bird's-eye-view rasterisation (the paper's Eq. (4)).
+//!
+//! A LiDAR scan is partitioned into ground-plane cells of size `c` within
+//! `[-R, R]²`; the **height map** uses the maximum point height per cell as
+//! pixel intensity. Per the paper (§IV-A), this "enables the use of
+//! stationary high objects as reliable landmarks" and "inherently filters
+//! out ground-hitting points" (ground hits rasterise to ≈0 intensity). The
+//! **density map** alternative (points per cell) is provided as the
+//! ablation baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use bba_bev::{BevConfig, BevImage};
+//! use bba_geometry::Vec3;
+//!
+//! let cfg = BevConfig::test_small();
+//! let points = vec![Vec3::new(5.0, 5.0, 7.5), Vec3::new(5.1, 5.0, 3.0)];
+//! let bev = BevImage::height_map(points.iter().copied(), &cfg);
+//! let (u, v) = cfg.world_to_pixel(bba_geometry::Vec2::new(5.0, 5.0)).unwrap();
+//! assert_eq!(bev.grid()[(u, v)], 7.5); // max height wins
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod image;
+
+pub use config::BevConfig;
+pub use image::{BevImage, BevMode};

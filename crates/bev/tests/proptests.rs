@@ -1,0 +1,75 @@
+//! Property-based tests for BEV rasterisation geometry.
+
+use bba_bev::{BevConfig, BevImage};
+use bba_geometry::{Vec2, Vec3};
+use proptest::prelude::*;
+
+fn cfg() -> BevConfig {
+    BevConfig::test_small()
+}
+
+fn in_range_point() -> impl Strategy<Value = Vec3> {
+    (-25.0..25.0f64, -25.0..25.0f64, 0.0..20.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn pixel_world_roundtrip_is_within_a_cell(x in -25.0..25.0f64, y in -25.0..25.0f64) {
+        let c = cfg();
+        let p = Vec2::new(x, y);
+        let (u, v) = c.world_to_pixel(p).unwrap();
+        let back = c.pixel_center(u, v);
+        prop_assert!((back - p).norm() <= c.resolution * std::f64::consts::SQRT_2);
+    }
+
+    #[test]
+    fn continuous_mapping_is_exact_inverse(x in -100.0..100.0f64, y in -100.0..100.0f64) {
+        let c = cfg();
+        let p = Vec2::new(x, y);
+        let back = c.pixel_to_world_f(c.world_to_pixel_f(p));
+        prop_assert!((back - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn height_map_pixel_equals_max_point_height(
+        pts in proptest::collection::vec(in_range_point(), 1..80),
+    ) {
+        let c = cfg();
+        let img = BevImage::height_map(pts.iter().copied(), &c);
+        // For every input point, its pixel is at least its height.
+        for p in &pts {
+            if let Some((u, v)) = c.world_to_pixel(p.xy()) {
+                prop_assert!(img.grid()[(u, v)] >= p.z - 1e-12);
+            }
+        }
+        // Global max equals the tallest in-range point.
+        let tallest = pts
+            .iter()
+            .filter(|p| c.world_to_pixel(p.xy()).is_some())
+            .map(|p| p.z)
+            .fold(0.0f64, f64::max);
+        prop_assert!((img.grid().max_value() - tallest).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_point_count(
+        pts in proptest::collection::vec(in_range_point(), 0..60),
+    ) {
+        let c = cfg();
+        let img = BevImage::height_map(pts.iter().copied().map(|p| Vec3::new(p.x, p.y, p.z + 0.1)), &c);
+        let occupied = (img.occupancy() * img.grid().len() as f64).round() as usize;
+        prop_assert!(occupied <= pts.len());
+    }
+
+    #[test]
+    fn density_map_monotone_in_points(
+        pts in proptest::collection::vec(in_range_point(), 1..40),
+    ) {
+        let c = cfg();
+        let one = BevImage::density_map(pts.iter().copied(), &c);
+        let double = BevImage::density_map(pts.iter().chain(pts.iter()).copied(), &c);
+        for (a, b) in one.grid().as_slice().iter().zip(double.grid().as_slice()) {
+            prop_assert!(b >= a);
+        }
+    }
+}

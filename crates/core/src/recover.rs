@@ -1,0 +1,697 @@
+//! The two-stage recovery algorithm (paper Algorithm 1).
+
+use crate::config::BbAlignConfig;
+use crate::frame::{FrameBox, PerceptionFrame};
+use bba_bev::BevImage;
+use bba_features::{
+    describe_keypoints_rotated, detect_keypoints, match_descriptors, ransac_rigid, RansacError,
+};
+use bba_geometry::{BevBox, Box3, Iso2, Iso3, Vec2, Vec3};
+use bba_signal::{LogGaborBank, MaxIndexMap};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Stage-1 result: the BV image-matching alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BvMatch {
+    /// Coarse alignment `T_bv` in metres (other → ego).
+    pub transform: Iso2,
+    /// The same transform in pixel coordinates (diagnostics).
+    pub transform_pixels: Iso2,
+    /// RANSAC inlier count — the paper's `Inliers_bv`.
+    pub inliers: usize,
+    /// Number of descriptor matches fed to RANSAC.
+    pub matches: usize,
+    /// Keypoints detected on the ego / other BV image.
+    pub keypoints: (usize, usize),
+}
+
+/// Stage-2 result: the box-corner refinement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxAlignment {
+    /// Refinement `T_box` in metres (applied after `T_bv`).
+    pub transform: Iso2,
+    /// RANSAC inlier count over corner correspondences — `Inliers_box`.
+    pub inliers: usize,
+    /// Number of overlapping box pairs used.
+    pub box_pairs: usize,
+}
+
+/// The full recovery output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recovery {
+    /// The recovered relative pose `T_2D = T_box × T_bv` (other → ego).
+    pub transform: Iso2,
+    /// The 3-D homogeneous lift of the paper's Eq. (1) (`t_z = 0`).
+    pub transform_3d: Iso3,
+    /// Stage-1 diagnostics.
+    pub bv: BvMatch,
+    /// Stage-2 diagnostics (`None` when disabled or when too few boxes
+    /// overlapped — the recovery then falls back to stage 1 alone).
+    pub box_alignment: Option<BoxAlignment>,
+    /// The success thresholds this recovery was judged against.
+    thresholds: (usize, usize),
+}
+
+impl Recovery {
+    /// The paper's empirical success criterion:
+    /// `Inliers_bv > 25 ∧ Inliers_box > 6` (configurable thresholds).
+    pub fn is_success(&self) -> bool {
+        self.bv.inliers > self.thresholds.0
+            && self.box_alignment.as_ref().is_some_and(|b| b.inliers > self.thresholds.1)
+    }
+
+    /// Stage-1 inlier count (`Inliers_bv`).
+    pub fn inliers_bv(&self) -> usize {
+        self.bv.inliers
+    }
+
+    /// Stage-2 inlier count (`Inliers_box`; 0 when stage 2 did not run).
+    pub fn inliers_box(&self) -> usize {
+        self.box_alignment.as_ref().map_or(0, |b| b.inliers)
+    }
+}
+
+/// Failure modes of the recovery pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoverError {
+    /// A BV image yielded no keypoints (e.g. a featureless open area).
+    NoKeypoints {
+        /// Which side was featureless: `"ego"` or `"other"`.
+        side: &'static str,
+    },
+    /// No descriptor matches survived the ratio/mutual tests.
+    NoMatches,
+    /// Stage-1 RANSAC found no consensus.
+    NoConsensus(RansacError),
+    /// The frames were built with different BV geometries.
+    GeometryMismatch,
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::NoKeypoints { side } => {
+                write!(f, "no keypoints detected on the {side} BV image")
+            }
+            RecoverError::NoMatches => write!(f, "no descriptor matches between BV images"),
+            RecoverError::NoConsensus(e) => write!(f, "stage-1 registration failed: {e}"),
+            RecoverError::GeometryMismatch => {
+                write!(f, "perception frames use different BV rasterisation geometries")
+            }
+        }
+    }
+}
+
+impl Error for RecoverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoverError::NoConsensus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The BB-Align pose-recovery engine.
+///
+/// Construction is cheap; the Log-Gabor filter bank is built lazily on
+/// first use and cached (it depends only on the BV image size).
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct BbAlign {
+    config: BbAlignConfig,
+    bank: OnceLock<LogGaborBank>,
+}
+
+impl BbAlign {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`BbAlignConfig::validate`]).
+    pub fn new(config: BbAlignConfig) -> Self {
+        config.validate();
+        BbAlign { config, bank: OnceLock::new() }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BbAlignConfig {
+        &self.config
+    }
+
+    fn bank(&self) -> &LogGaborBank {
+        self.bank.get_or_init(|| {
+            let h = self.config.bev.image_size();
+            LogGaborBank::new(h, h, self.config.log_gabor.clone())
+        })
+    }
+
+    /// Builds a transmissible [`PerceptionFrame`] from raw sensor-frame
+    /// points and detected 3-D boxes with confidences. Detector-agnostic:
+    /// any source of `(Box3, confidence)` works.
+    pub fn frame_from_parts(
+        &self,
+        points: impl IntoIterator<Item = Vec3>,
+        boxes: impl IntoIterator<Item = (Box3, f64)>,
+    ) -> PerceptionFrame {
+        let bev = BevImage::rasterize(points, &self.config.bev, self.config.bev_mode);
+        let boxes = boxes
+            .into_iter()
+            .map(|(b, confidence)| FrameBox { bev: b.to_bev(), confidence })
+            .collect();
+        PerceptionFrame::new(bev, boxes)
+    }
+
+    /// Stage 1: BV image matching (Algorithm 1, lines 5–11).
+    ///
+    /// Returns the coarse other→ego alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoverError`] when keypoints, matches or RANSAC consensus
+    /// are missing — the paper's "insufficient landmarks" failure regime.
+    pub fn match_bv<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        rng: &mut R,
+    ) -> Result<BvMatch, RecoverError> {
+        if ego.bev().config() != other.bev().config() {
+            return Err(RecoverError::GeometryMismatch);
+        }
+        let cfg = &self.config;
+
+        // MIM feature maps (needed for descriptors, and by default also as
+        // the keypoint-detection image).
+        let bank = self.bank();
+        let mim_ego = MaxIndexMap::compute_with_bank(ego.bev().grid(), bank);
+        let mim_other = MaxIndexMap::compute_with_bank(other.bev().grid(), bank);
+
+        // Keypoints.
+        let detect = |frame: &PerceptionFrame, mim: &MaxIndexMap| match cfg.keypoint_source {
+            crate::config::KeypointSource::BvImage => {
+                detect_keypoints(frame.bev().grid(), &cfg.keypoints)
+            }
+            crate::config::KeypointSource::MimAmplitude => {
+                let max = mim.amplitude.max_value();
+                if max <= 0.0 {
+                    return Vec::new();
+                }
+                let normalised = mim.amplitude.map(|&a| a / max);
+                detect_keypoints(&normalised, &cfg.keypoints)
+            }
+        };
+        let kp_ego = detect(ego, &mim_ego);
+        if kp_ego.is_empty() {
+            return Err(RecoverError::NoKeypoints { side: "ego" });
+        }
+        let kp_other = detect(other, &mim_other);
+        if kp_other.is_empty() {
+            return Err(RecoverError::NoKeypoints { side: "other" });
+        }
+
+        // Ego descriptors once, unrotated; the other side is described under
+        // a sweep of global rotation hypotheses (RIFT-style). Per-patch
+        // orientation normalisation is deliberately avoided: estimating an
+        // angle from view-dependent samples is unstable, while a global
+        // hypothesis keeps the descriptors raw and discriminative.
+        let desc_ego = describe_keypoints_rotated(&mim_ego, &kp_ego, &cfg.descriptor, 0.0);
+        if desc_ego.is_empty() {
+            return Err(RecoverError::NoKeypoints { side: "ego" });
+        }
+        let pix = |kp: &bba_features::Keypoint| Vec2::new(kp.u as f64 + 0.5, kp.v as f64 + 0.5);
+
+        let hypotheses = cfg.rotation_hypotheses.max(1);
+        let mut candidates: Vec<(bba_features::RansacResult, usize)> = Vec::new();
+        let mut any_descriptors = false;
+        let mut any_matches = false;
+        let mut last_ransac_err = None;
+        'sweep: for k in 0..hypotheses {
+            let angle = k as f64 * std::f64::consts::TAU / hypotheses as f64;
+            let desc_other =
+                describe_keypoints_rotated(&mim_other, &kp_other, &cfg.descriptor, angle);
+            if desc_other.is_empty() {
+                continue;
+            }
+            any_descriptors = true;
+            let matches = match_descriptors(&desc_other, &desc_ego, &cfg.matcher);
+            if matches.len() < 2 {
+                continue;
+            }
+            any_matches = true;
+            let mut src: Vec<Vec2> =
+                matches.iter().map(|m| pix(&desc_other[m.src].keypoint)).collect();
+            let mut dst: Vec<Vec2> = matches.iter().map(|m| pix(&desc_ego[m.dst].keypoint)).collect();
+
+            // Sequential RANSAC: extract up to `stage1_candidates` disjoint
+            // consensus models per hypothesis. In self-similar corridors an
+            // aliased model often out-votes the true one, so surfacing
+            // runner-up models for global verification is essential.
+            for _ in 0..cfg.stage1_candidates.max(1) {
+                match ransac_rigid(&src, &dst, &cfg.ransac_bv, rng) {
+                    Ok(result) => {
+                        // Unambiguously strong consensus: clears the success
+                        // threshold AND explains at least half the matches.
+                        // That only happens for the true transform (aliases
+                        // never explain the majority), so stop sweeping.
+                        // Same-direction traffic makes hypothesis 0 the
+                        // common case, making this the usual fast path.
+                        let strong = result.num_inliers > cfg.min_inliers_bv
+                            && 2 * result.num_inliers >= matches.len();
+                        // Remove this model's inliers before re-running.
+                        let inlier_set: std::collections::HashSet<usize> =
+                            result.inliers.iter().copied().collect();
+                        let keep: Vec<usize> =
+                            (0..src.len()).filter(|i| !inlier_set.contains(i)).collect();
+                        candidates.push((result, matches.len()));
+                        if strong {
+                            break 'sweep;
+                        }
+                        if keep.len() < cfg.ransac_bv.min_inliers.max(2) {
+                            break;
+                        }
+                        src = keep.iter().map(|&i| src[i]).collect();
+                        dst = keep.iter().map(|&i| dst[i]).collect();
+                    }
+                    Err(e) => {
+                        last_ransac_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if candidates.is_empty() {
+            if !any_descriptors {
+                return Err(RecoverError::NoKeypoints { side: "other" });
+            }
+            if !any_matches {
+                return Err(RecoverError::NoMatches);
+            }
+            return Err(RecoverError::NoConsensus(
+                last_ransac_err.unwrap_or(RansacError::NoConsensus { best: 0, required: 2 }),
+            ));
+        }
+
+        // Pick the winning candidate: by global BEV occupancy alignment
+        // when verification is enabled (keypoint inliers break ties), by
+        // inlier count otherwise.
+        let (result, matches) = if cfg.alignment_verification && candidates.len() > 1 {
+            candidates
+                .into_iter()
+                .map(|(r, m)| {
+                    let world = self.pixel_to_world_transform(&r.transform);
+                    let score = alignment_score(ego.bev(), other.bev(), &world);
+                    (score, r, m)
+                })
+                .max_by(|a, b| {
+                    (a.0, a.1.num_inliers)
+                        .partial_cmp(&(b.0, b.1.num_inliers))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(_, r, m)| (r, m))
+                .expect("candidates is nonempty")
+        } else {
+            candidates
+                .into_iter()
+                .max_by_key(|(r, _)| r.num_inliers)
+                .expect("candidates is nonempty")
+        };
+
+        Ok(BvMatch {
+            transform: self.pixel_to_world_transform(&result.transform),
+            transform_pixels: result.transform,
+            inliers: result.num_inliers,
+            matches,
+            keypoints: (kp_ego.len(), kp_other.len()),
+        })
+    }
+
+    /// Converts a rigid transform expressed in continuous pixel coordinates
+    /// into the same transform in metres. Rotation carries over directly
+    /// (the raster is a uniform similarity); the translation follows from
+    /// tracking the world origin through pixel space.
+    fn pixel_to_world_transform(&self, t_pix: &Iso2) -> Iso2 {
+        let bev = &self.config.bev;
+        let origin_pix = bev.world_to_pixel_f(Vec2::ZERO);
+        let moved = bev.pixel_to_world_f(t_pix.apply(origin_pix));
+        Iso2::new(t_pix.yaw(), moved)
+    }
+
+    /// Stage 2: bounding-box corner alignment (Algorithm 1, lines 12–14).
+    ///
+    /// `coarse` is the stage-1 transform. Returns `None` when fewer than
+    /// two box pairs overlap (stage 2 is then skipped, per the fallback in
+    /// [`BbAlign::recover`]).
+    pub fn align_boxes<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        coarse: &Iso2,
+        rng: &mut R,
+    ) -> Option<BoxAlignment> {
+        let cfg = &self.config;
+        let ego_boxes: Vec<&FrameBox> =
+            ego.confident_boxes(cfg.box_min_confidence).collect();
+        let other_boxes: Vec<BevBox> = other
+            .confident_boxes(cfg.box_min_confidence)
+            .map(|b| b.bev.transformed(coarse))
+            .collect();
+        if ego_boxes.is_empty() || other_boxes.is_empty() {
+            return None;
+        }
+
+        // Greedy one-to-one pairing by centre distance under the gate.
+        let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+        for (i, ob) in other_boxes.iter().enumerate() {
+            for (j, eb) in ego_boxes.iter().enumerate() {
+                let d = ob.center.distance(eb.bev.center);
+                if d <= cfg.box_pair_max_distance {
+                    candidates.push((i, j, d));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        let mut used_other = vec![false; other_boxes.len()];
+        let mut used_ego = vec![false; ego_boxes.len()];
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut pairs = 0usize;
+        for (i, j, _) in candidates {
+            if used_other[i] || used_ego[j] {
+                continue;
+            }
+            used_other[i] = true;
+            used_ego[j] = true;
+            pairs += 1;
+            match cfg.box_pairing {
+                crate::config::BoxPairing::Corners => {
+                    // Corresponding canonical corners (consistent ordering —
+                    // see `bba_geometry::BevBox::canonical_corners`).
+                    let co = other_boxes[i].canonical_corners();
+                    let ce = ego_boxes[j].bev.canonical_corners();
+                    src.extend_from_slice(&co);
+                    dst.extend_from_slice(&ce);
+                }
+                crate::config::BoxPairing::Centers => {
+                    src.push(other_boxes[i].center);
+                    dst.push(ego_boxes[j].bev.center);
+                }
+            }
+        }
+        if pairs < 2 {
+            return None;
+        }
+
+        let result = ransac_rigid(&src, &dst, &cfg.ransac_box, rng).ok()?;
+        // With few box pairs the rotation is poorly constrained by noisy
+        // corners; restrict the refinement to translation (the dominant
+        // self-motion-distortion component per the paper's Fig. 14).
+        let transform = if pairs < cfg.box_min_pairs_for_rotation {
+            let mean = result
+                .inliers
+                .iter()
+                .fold(Vec2::ZERO, |acc, &k| acc + (dst[k] - src[k]))
+                / result.inliers.len().max(1) as f64;
+            Iso2::from_translation(mean)
+        } else {
+            result.transform
+        };
+        // Physical sanity: stage 2 corrects metres-scale residuals; a
+        // larger "correction" means the boxes paired up wrong.
+        let (dt, dr) = transform.error_to(&Iso2::IDENTITY);
+        if dt > cfg.box_max_correction_t || dr > cfg.box_max_correction_r {
+            return None;
+        }
+        Some(BoxAlignment { transform, inliers: result.num_inliers, box_pairs: pairs })
+    }
+
+    /// Runs the full two-stage recovery (Algorithm 1).
+    ///
+    /// Stage-2 failure (too few overlapping boxes) degrades gracefully to
+    /// the stage-1 transform; such recoveries report `Inliers_box = 0` and
+    /// fail [`Recovery::is_success`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoverError`] when stage 1 cannot align the BV images at
+    /// all.
+    pub fn recover<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        rng: &mut R,
+    ) -> Result<Recovery, RecoverError> {
+        let bv = self.match_bv(ego, other, rng)?;
+        let box_alignment = if self.config.box_alignment {
+            self.align_boxes(ego, other, &bv.transform, rng)
+        } else {
+            None
+        };
+        let transform = match &box_alignment {
+            Some(b) => b.transform.compose(&bv.transform),
+            None => bv.transform,
+        };
+        Ok(Recovery {
+            transform,
+            transform_3d: Iso3::from_iso2(&transform, 0.0),
+            bv,
+            box_alignment,
+            thresholds: (self.config.min_inliers_bv, self.config.min_inliers_box),
+        })
+    }
+}
+
+/// Global BEV occupancy alignment score of a candidate transform: the
+/// fraction of the other image's occupied cells that land within one cell
+/// of an occupied ego cell after the transform (cells mapping outside the
+/// ego raster are excluded from the denominator).
+///
+/// Keypoint inlier counts measure *local* agreement around matched
+/// features; this score measures *global* agreement of everything both
+/// cars rasterised — the quantity that separates the true transform from a
+/// locally self-similar alias.
+pub fn alignment_score(ego: &BevImage, other: &BevImage, transform: &Iso2) -> f64 {
+    let bev = ego.config();
+    let ego_grid = ego.grid();
+    let h = ego_grid.width() as isize;
+    let mut mapped = 0usize;
+    let mut hits = 0usize;
+    for (u, v, &x) in other.grid().iter_cells() {
+        if x <= 1e-9 {
+            continue;
+        }
+        let world = transform.apply(bev.pixel_center(u, v));
+        let p = bev.world_to_pixel_f(world);
+        let (eu, ev) = (p.x.floor() as isize, p.y.floor() as isize);
+        if eu < 0 || ev < 0 || eu >= h || ev >= h {
+            continue;
+        }
+        mapped += 1;
+        let mut hit = false;
+        'win: for du in -1..=1isize {
+            for dv in -1..=1isize {
+                let (a, b) = (eu + du, ev + dv);
+                if a >= 0 && b >= 0 && a < h && b < h && ego_grid[(a as usize, b as usize)] > 1e-9 {
+                    hit = true;
+                    break 'win;
+                }
+            }
+        }
+        if hit {
+            hits += 1;
+        }
+    }
+    if mapped < 30 {
+        // Too little co-visible content for the score to mean anything.
+        return 0.0;
+    }
+    hits as f64 / mapped as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BbAlignConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synthetic world landmarks: vertical structures with distinctive
+    /// corners, expressed in the ego frame.
+    fn landmark_points() -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        // Three "building walls" at different heights and orientations.
+        let walls: [(Vec2, Vec2, f64); 4] = [
+            (Vec2::new(-12.0, 8.0), Vec2::new(-2.0, 8.0), 6.0),
+            (Vec2::new(-2.0, 8.0), Vec2::new(-2.0, 15.0), 6.0),
+            (Vec2::new(5.0, -10.0), Vec2::new(14.0, -6.0), 9.0),
+            (Vec2::new(-14.0, -8.0), Vec2::new(-8.0, -14.0), 4.0),
+        ];
+        for (a, b, height) in walls {
+            let n = 60;
+            for k in 0..=n {
+                let p = a.lerp(b, k as f64 / n as f64);
+                for h in 0..6 {
+                    pts.push(Vec3::from_xy(p, height * (0.5 + h as f64 / 10.0)));
+                }
+            }
+        }
+        // A few isolated "tree tops".
+        for (x, y, z) in [(9.0, 9.0, 5.0), (-9.0, 1.0, 7.0), (2.0, -13.0, 6.0)] {
+            for du in -1..=1 {
+                for dv in -1..=1 {
+                    pts.push(Vec3::new(x + du as f64 * 0.4, y + dv as f64 * 0.4, z));
+                }
+            }
+        }
+        pts
+    }
+
+    fn car_boxes() -> Vec<(Box3, f64)> {
+        [
+            (Vec2::new(6.0, 2.0), 0.2),
+            (Vec2::new(-4.0, -5.0), -0.1),
+            (Vec2::new(0.0, 10.0), 1.4),
+            (Vec2::new(-10.0, 5.0), 0.05),
+        ]
+        .iter()
+        .map(|&(c, yaw)| {
+            (Box3::new(Vec3::from_xy(c, 0.8), Vec3::new(4.5, 1.9, 1.6), yaw), 0.9)
+        })
+        .collect()
+    }
+
+    /// Builds the two frames for a known relative pose `truth` (other→ego):
+    /// the other car observes the same world through `truth⁻¹`.
+    fn frame_pair(aligner: &BbAlign, truth: &Iso2) -> (PerceptionFrame, PerceptionFrame) {
+        let inv = truth.inverse();
+        let pts = landmark_points();
+        let boxes = car_boxes();
+        let ego = aligner.frame_from_parts(pts.iter().copied(), boxes.iter().copied());
+        let other = aligner.frame_from_parts(
+            pts.iter().map(|p| Vec3::from_xy(inv.apply(p.xy()), p.z)),
+            boxes.iter().map(|(b, c)| (b.transformed(&inv), *c)),
+        );
+        (ego, other)
+    }
+
+    #[test]
+    fn recovers_identity() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        let truth = Iso2::IDENTITY;
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = aligner.recover(&ego, &other, &mut rng).unwrap();
+        let (dt, dr) = r.transform.error_to(&truth);
+        assert!(dt < 0.5, "translation error {dt}");
+        assert!(dr < 0.05, "rotation error {dr}");
+    }
+
+    #[test]
+    fn recovers_translation_and_rotation() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        let truth = Iso2::new(0.35, Vec2::new(6.0, -3.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = aligner.recover(&ego, &other, &mut rng).unwrap();
+        let (dt, dr) = r.transform.error_to(&truth);
+        assert!(dt < 0.8, "translation error {dt} (recovered {})", r.transform);
+        assert!(dr < 0.06, "rotation error {dr}");
+        assert!(r.inliers_bv() >= 6);
+    }
+
+    #[test]
+    fn stage2_refines_stage1() {
+        // Perturb the other car's *points* with a small rigid offset that
+        // its *boxes* do not share (a self-motion-distortion surrogate):
+        // stage 1 locks onto the distorted landmarks, stage 2 pulls the
+        // estimate back toward the box geometry.
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        let truth = Iso2::new(0.1, Vec2::new(4.0, 2.0));
+        let inv = truth.inverse();
+        let drift = Iso2::new(0.004, Vec2::new(0.45, -0.3)); // distortion
+        let pts = landmark_points();
+        let boxes = car_boxes();
+        let ego = aligner.frame_from_parts(pts.iter().copied(), boxes.iter().copied());
+        let other = aligner.frame_from_parts(
+            pts.iter().map(|p| Vec3::from_xy(drift.apply(inv.apply(p.xy())), p.z)),
+            boxes.iter().map(|(b, c)| (b.transformed(&inv), *c)),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let full = aligner.recover(&ego, &other, &mut rng).unwrap();
+        assert!(full.box_alignment.is_some(), "stage 2 should engage");
+        let (dt_full, _) = full.transform.error_to(&truth);
+        let (dt_bv, _) = full.bv.transform.error_to(&truth);
+        assert!(
+            dt_full < dt_bv + 1e-9,
+            "stage 2 should not hurt: full {dt_full} vs stage1 {dt_bv}"
+        );
+        assert!(dt_full < 0.4, "refined error {dt_full}");
+    }
+
+    #[test]
+    fn ablation_config_skips_stage2() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small().without_box_alignment());
+        let truth = Iso2::new(0.2, Vec2::new(3.0, 1.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = aligner.recover(&ego, &other, &mut rng).unwrap();
+        assert!(r.box_alignment.is_none());
+        assert_eq!(r.inliers_box(), 0);
+        assert!(!r.is_success(), "stage-1-only recovery cannot meet the success criterion");
+    }
+
+    #[test]
+    fn empty_world_fails_cleanly() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        let empty = aligner.frame_from_parts(std::iter::empty(), std::iter::empty());
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = aligner.recover(&empty, &empty, &mut rng).unwrap_err();
+        assert!(matches!(e, RecoverError::NoKeypoints { .. }), "{e}");
+    }
+
+    #[test]
+    fn mismatched_geometry_is_rejected() {
+        let small = BbAlign::new(BbAlignConfig::test_small());
+        let big = BbAlign::new(BbAlignConfig::default());
+        let f_small = small.frame_from_parts(landmark_points(), car_boxes());
+        let f_big = big.frame_from_parts(landmark_points(), car_boxes());
+        let mut rng = StdRng::seed_from_u64(6);
+        let e = small.recover(&f_small, &f_big, &mut rng).unwrap_err();
+        assert_eq!(e, RecoverError::GeometryMismatch);
+    }
+
+    #[test]
+    fn pixel_world_transform_conversion() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        let bev = &aligner.config().bev;
+        // A known world transform, expressed in pixel space, converts back.
+        let t_world = Iso2::new(0.3, Vec2::new(2.0, -1.5));
+        // Build the pixel-space equivalent by conjugation with the raster
+        // map: pix' = w2p(T(p2w(pix))).
+        let p0 = Vec2::new(10.0, 20.0);
+        let p1 = Vec2::new(100.0, 47.0);
+        let map = |p: Vec2| bev.world_to_pixel_f(t_world.apply(bev.pixel_to_world_f(p)));
+        let t_pix = bba_geometry::fit_rigid_2d(&[p0, p1], &[map(p0), map(p1)]).unwrap();
+        let back = aligner.pixel_to_world_transform(&t_pix);
+        assert!(back.approx_eq(&t_world, 1e-9, 1e-9), "{back} vs {t_world}");
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        for e in [
+            RecoverError::NoKeypoints { side: "ego" },
+            RecoverError::NoMatches,
+            RecoverError::GeometryMismatch,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

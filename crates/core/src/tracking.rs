@@ -1,0 +1,313 @@
+//! Temporal pose tracking across frames — the deployment layer above
+//! per-frame recovery.
+//!
+//! The paper recovers the relative pose independently per frame and lists
+//! time efficiency as future work. In a deployed V2V stack, consecutive
+//! frames are strongly correlated: the relative pose evolves smoothly with
+//! the two cars' motion. [`PoseTracker`] exploits that with a
+//! constant-velocity α–β filter on `(x, y, yaw)`:
+//!
+//! * per-frame recoveries are blended in with a gain that grows with their
+//!   inlier confidence;
+//! * measurements wildly inconsistent with the prediction are *gated out*
+//!   (a single aliased stage-1 match cannot hijack the track), but
+//!   repeated consistent outliers force a reset (the track, not the
+//!   measurement, was wrong — e.g. after a lane change of either car);
+//! * between measurements the tracker extrapolates, so fusion can run at
+//!   sensor rate while recovery runs at a lower duty cycle — directly
+//!   addressing the paper's future-work point.
+
+use crate::recover::Recovery;
+use bba_geometry::{angle_diff, normalize_angle, Iso2, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Tracker parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Base blend gain for a barely-confident measurement (0..1).
+    pub min_gain: f64,
+    /// Blend gain at/above `saturate_inliers` (0..1).
+    pub max_gain: f64,
+    /// Inlier count (stage 1 + stage 2) at which gain saturates.
+    pub saturate_inliers: usize,
+    /// Gate: measurements farther than this from the prediction (m) are
+    /// rejected as outliers.
+    pub gate_translation: f64,
+    /// Gate on rotation disagreement (radians).
+    pub gate_rotation: f64,
+    /// After this many consecutive gated measurements the tracker resets
+    /// onto the latest measurement.
+    pub reset_after: usize,
+    /// Velocity smoothing factor (0 = frozen velocity, 1 = instantaneous).
+    pub velocity_gain: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            min_gain: 0.25,
+            max_gain: 0.85,
+            saturate_inliers: 50,
+            gate_translation: 4.0,
+            gate_rotation: 8f64.to_radians(),
+            reset_after: 3,
+            velocity_gain: 0.3,
+        }
+    }
+}
+
+/// Outcome of feeding one measurement to the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackUpdate {
+    /// First measurement: the track was initialised.
+    Initialized,
+    /// Measurement blended into the track.
+    Fused,
+    /// Measurement rejected by the innovation gate.
+    Gated,
+    /// Too many consecutive rejections: track reset onto the measurement.
+    Reset,
+}
+
+/// A constant-velocity α–β tracker over the relative pose.
+///
+/// # Example
+///
+/// ```
+/// use bb_align::tracking::{PoseTracker, TrackerConfig};
+/// use bba_geometry::{Iso2, Vec2};
+///
+/// let mut tracker = PoseTracker::new(TrackerConfig::default());
+/// // The other car pulls ahead at 2 m/s.
+/// for k in 0..8 {
+///     let t = k as f64 * 0.5;
+///     tracker.update_pose(t, &Iso2::new(0.0, Vec2::new(40.0 + 2.0 * t, 0.0)), 30);
+/// }
+/// // Predict half a second past the last measurement.
+/// let p = tracker.predict(4.0).unwrap();
+/// assert!((p.translation().x - 48.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoseTracker {
+    config: TrackerConfig,
+    state: Option<TrackState>,
+    gated_streak: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct TrackState {
+    time: f64,
+    translation: Vec2,
+    yaw: f64,
+    velocity: Vec2,
+    yaw_rate: f64,
+}
+
+impl PoseTracker {
+    /// Creates an empty tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        PoseTracker { config, state: None, gated_streak: 0 }
+    }
+
+    /// True once at least one measurement has been accepted.
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Feeds a full per-frame [`Recovery`] (gain derives from its inlier
+    /// counts).
+    pub fn update(&mut self, time: f64, recovery: &Recovery) -> TrackUpdate {
+        let confidence = recovery.inliers_bv() + 2 * recovery.inliers_box();
+        self.update_pose(time, &recovery.transform, confidence)
+    }
+
+    /// Feeds a raw pose measurement with an explicit confidence (total
+    /// inlier count).
+    pub fn update_pose(&mut self, time: f64, measured: &Iso2, confidence: usize) -> TrackUpdate {
+        let cfg = &self.config;
+        let Some(prev) = self.state else {
+            self.state = Some(TrackState {
+                time,
+                translation: measured.translation(),
+                yaw: measured.yaw(),
+                velocity: Vec2::ZERO,
+                yaw_rate: 0.0,
+            });
+            self.gated_streak = 0;
+            return TrackUpdate::Initialized;
+        };
+
+        let dt = (time - prev.time).max(1e-6);
+        let predicted_t = prev.translation + prev.velocity * dt;
+        let predicted_yaw = prev.yaw + prev.yaw_rate * dt;
+
+        // Innovation gate.
+        let innov_t = measured.translation() - predicted_t;
+        let innov_r = angle_diff(measured.yaw(), predicted_yaw);
+        if innov_t.norm() > cfg.gate_translation || innov_r.abs() > cfg.gate_rotation {
+            self.gated_streak += 1;
+            if self.gated_streak >= cfg.reset_after {
+                self.state = Some(TrackState {
+                    time,
+                    translation: measured.translation(),
+                    yaw: measured.yaw(),
+                    velocity: Vec2::ZERO,
+                    yaw_rate: 0.0,
+                });
+                self.gated_streak = 0;
+                return TrackUpdate::Reset;
+            }
+            // Keep coasting on the prediction.
+            self.state = Some(TrackState {
+                time,
+                translation: predicted_t,
+                yaw: normalize_angle(predicted_yaw),
+                ..prev
+            });
+            return TrackUpdate::Gated;
+        }
+        self.gated_streak = 0;
+
+        // Confidence-weighted blend.
+        let frac = (confidence as f64 / cfg.saturate_inliers as f64).min(1.0);
+        let gain = cfg.min_gain + (cfg.max_gain - cfg.min_gain) * frac;
+        let new_t = predicted_t + innov_t * gain;
+        let new_yaw = normalize_angle(predicted_yaw + innov_r * gain);
+
+        // Velocity update from the *filtered* displacement.
+        let vel_meas = (new_t - prev.translation) / dt;
+        let yawrate_meas = angle_diff(new_yaw, prev.yaw) / dt;
+        let velocity = prev.velocity.lerp(vel_meas, cfg.velocity_gain);
+        let yaw_rate = prev.yaw_rate + (yawrate_meas - prev.yaw_rate) * cfg.velocity_gain;
+
+        self.state =
+            Some(TrackState { time, translation: new_t, yaw: new_yaw, velocity, yaw_rate });
+        TrackUpdate::Fused
+    }
+
+    /// The filtered relative pose extrapolated to `time`, or `None` before
+    /// initialisation.
+    pub fn predict(&self, time: f64) -> Option<Iso2> {
+        let s = self.state?;
+        let dt = time - s.time;
+        Some(Iso2::new(s.yaw + s.yaw_rate * dt, s.translation + s.velocity * dt))
+    }
+
+    /// The estimated relative velocity (m/s) of the other car in the ego
+    /// frame, or `None` before initialisation.
+    pub fn relative_velocity(&self) -> Option<Vec2> {
+        self.state.map(|s| s.velocity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_linear(
+        tracker: &mut PoseTracker,
+        n: usize,
+        dt: f64,
+        start: Vec2,
+        velocity: Vec2,
+        noise: impl Fn(usize) -> Vec2,
+    ) {
+        for k in 0..n {
+            let t = k as f64 * dt;
+            let truth = start + velocity * t;
+            let measured = Iso2::new(0.0, truth + noise(k));
+            tracker.update_pose(t, &measured, 40);
+        }
+    }
+
+    #[test]
+    fn smooths_noisy_measurements() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        // Alternating ±0.5 m noise around a constant-velocity truth.
+        feed_linear(&mut tracker, 20, 0.5, Vec2::new(40.0, 0.0), Vec2::new(2.0, 0.0), |k| {
+            Vec2::new(0.5 * if k % 2 == 0 { 1.0 } else { -1.0 }, 0.0)
+        });
+        let t_end = 19.0 * 0.5;
+        let truth = Vec2::new(40.0, 0.0) + Vec2::new(2.0, 0.0) * t_end;
+        let filtered = tracker.predict(t_end).unwrap();
+        let err = (filtered.translation() - truth).norm();
+        assert!(err < 0.45, "filtered error {err} should beat the 0.5 m noise");
+        // Velocity learned.
+        let v = tracker.relative_velocity().unwrap();
+        assert!((v.x - 2.0).abs() < 0.7, "velocity {v:?}");
+    }
+
+    #[test]
+    fn extrapolates_between_measurements() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        feed_linear(&mut tracker, 12, 0.5, Vec2::ZERO, Vec2::new(3.0, 1.0), |_| Vec2::ZERO);
+        // Predict 1 s past the last measurement.
+        let p = tracker.predict(5.5 + 1.0).unwrap();
+        let truth = Vec2::new(3.0, 1.0) * 6.5;
+        assert!((p.translation() - truth).norm() < 0.8, "{p}");
+    }
+
+    #[test]
+    fn gates_single_outlier() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        feed_linear(&mut tracker, 8, 0.5, Vec2::new(30.0, 0.0), Vec2::ZERO, |_| Vec2::ZERO);
+        // One aliased recovery 40 m off.
+        let verdict =
+            tracker.update_pose(4.0, &Iso2::new(0.0, Vec2::new(70.0, 0.0)), 40);
+        assert_eq!(verdict, TrackUpdate::Gated);
+        let p = tracker.predict(4.0).unwrap();
+        assert!((p.translation() - Vec2::new(30.0, 0.0)).norm() < 1.0, "track hijacked: {p}");
+    }
+
+    #[test]
+    fn repeated_consistent_outliers_force_reset() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        feed_linear(&mut tracker, 5, 0.5, Vec2::new(30.0, 0.0), Vec2::ZERO, |_| Vec2::ZERO);
+        // The world changed: measurements now consistently at 50 m.
+        let mut last = TrackUpdate::Fused;
+        for k in 0..3 {
+            last = tracker.update_pose(
+                2.5 + k as f64 * 0.5,
+                &Iso2::new(0.0, Vec2::new(50.0, 0.0)),
+                40,
+            );
+        }
+        assert_eq!(last, TrackUpdate::Reset);
+        let p = tracker.predict(4.0).unwrap();
+        assert!((p.translation() - Vec2::new(50.0, 0.0)).norm() < 1.0);
+    }
+
+    #[test]
+    fn confidence_controls_gain() {
+        let run = |confidence: usize| {
+            let mut tracker = PoseTracker::new(TrackerConfig::default());
+            tracker.update_pose(0.0, &Iso2::new(0.0, Vec2::new(10.0, 0.0)), 40);
+            tracker.update_pose(0.5, &Iso2::new(0.0, Vec2::new(12.0, 0.0)), confidence);
+            tracker.predict(0.5).unwrap().translation().x
+        };
+        let weak = run(1);
+        let strong = run(100);
+        // A strong measurement pulls the state closer to 12.
+        assert!(strong > weak, "strong {strong} vs weak {weak}");
+        assert!(strong > 11.5 && weak < 11.5);
+    }
+
+    #[test]
+    fn yaw_wraps_correctly_at_pi() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        let near_pi = std::f64::consts::PI - 0.01;
+        tracker.update_pose(0.0, &Iso2::new(near_pi, Vec2::new(20.0, 0.0)), 40);
+        tracker.update_pose(0.5, &Iso2::new(-near_pi, Vec2::new(20.0, 0.0)), 40);
+        let p = tracker.predict(0.5).unwrap();
+        // Filtered yaw stays near ±π, not near 0.
+        assert!(p.yaw().abs() > 3.0, "yaw blended across the seam: {}", p.yaw());
+    }
+
+    #[test]
+    fn uninitialized_tracker_has_no_prediction() {
+        let tracker = PoseTracker::new(TrackerConfig::default());
+        assert!(!tracker.is_initialized());
+        assert!(tracker.predict(0.0).is_none());
+        assert!(tracker.relative_velocity().is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! A synthetic V2V4Real-like dataset: paired two-car perception frames.
+//!
+//! V2V4Real provides ~20 K frames of synchronized LiDAR from two vehicles
+//! with ground-truth poses; the paper selects the ~12 K frames where the
+//! cars commonly observe at least two vehicles. This crate reproduces that
+//! shape: a seeded [`Dataset`] turns a `bba-scene` scenario into a lazy
+//! stream of [`FramePair`]s, each holding both cars' scans, detections,
+//! ground-truth poses and the ground-truth relative transform, plus the
+//! paper's selection predicate ([`FramePair::common_vehicles`] ≥ 2).
+//!
+//! Pose corruption (the experiment input) lives here too:
+//! [`PoseNoise`] adds zero-mean Gaussian error to a relative pose, matching
+//! the paper's `σ_t = 2 m`, `σ_θ = 2°` protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use bba_dataset::{Dataset, DatasetConfig};
+//!
+//! let mut dataset = Dataset::new(DatasetConfig::test_small(), 42);
+//! let pair = dataset.next_pair().unwrap();
+//! assert!(pair.ego.scan.len() > 500);
+//! // Ground truth maps other-frame points into the ego frame.
+//! let rel = pair.true_relative;
+//! assert!(rel.translation().norm() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod noise;
+
+pub use frame::{AgentFrame, Dataset, DatasetConfig, FramePair};
+pub use noise::PoseNoise;

@@ -1,0 +1,52 @@
+//! Property-based tests for dataset generation and pose noise.
+
+use bba_dataset::{Dataset, DatasetConfig, PoseNoise};
+use bba_geometry::{Iso2, Vec2};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn frame_pairs_are_internally_consistent(seed in 0u64..30, k in 0usize..3) {
+        let mut ds = Dataset::new(DatasetConfig::test_small(), seed);
+        let pair = (0..=k).map(|_| ds.next_pair().unwrap()).last().unwrap();
+        // Relative pose algebra.
+        let expect = pair.ego.pose.relative_from(&pair.other.pose);
+        prop_assert!(pair.true_relative.approx_eq(&expect, 1e-9, 1e-9));
+        // Common vehicles are a subset of each side's observations.
+        for id in &pair.common_vehicles {
+            prop_assert!(pair.ego.observed_vehicles.contains(id));
+            prop_assert!(pair.other.observed_vehicles.contains(id));
+        }
+        // Ground truth excludes the ego car itself.
+        let ego_id = ds.scenario().ego_id();
+        prop_assert!(pair.gt_vehicles_ego.iter().all(|(id, _)| *id != ego_id));
+        // GT boxes in the ego frame are near the sensor (within scan reach
+        // plus the road extent).
+        for (_, b) in &pair.gt_vehicles_ego {
+            prop_assert!(b.center.xy().norm() < 400.0);
+        }
+    }
+
+    #[test]
+    fn pose_noise_scales_with_sigma(
+        s_t in 0.1..5.0f64, s_r in 0.001..0.2f64, seed in 0u64..100,
+    ) {
+        let noise = PoseNoise { sigma_t: s_t, sigma_theta: s_r };
+        let truth = Iso2::new(0.3, Vec2::new(20.0, -4.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 300;
+        let mut t_sq = 0.0;
+        for _ in 0..n {
+            let c = noise.corrupt(&truth, &mut rng);
+            let (dt, _) = c.error_to(&truth);
+            t_sq += dt * dt;
+        }
+        let rms = (t_sq / n as f64).sqrt();
+        let expect = s_t * 2f64.sqrt(); // two axes
+        prop_assert!((rms - expect).abs() < 0.35 * expect, "rms {rms} vs {expect}");
+    }
+}

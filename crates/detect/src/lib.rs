@@ -1,0 +1,43 @@
+//! Object detection substrate: a geometric pseudo-detector and the
+//! AP@IoU evaluator behind the paper's Table I.
+//!
+//! The paper uses GPU neural detectors (PointPillars-based **F-Cooper** and
+//! the attention-based **coBEVT**) as single-car detectors feeding stage 2.
+//! Per the reproduction rules those are replaced by a *geometric* detector
+//! ([`Detector`]) whose error statistics are the only thing stage 2
+//! consumes: an object is detected when enough LiDAR returns hit it; the
+//! reported box is the ground-truth box expressed in the sensor frame at
+//! the moment the object was actually swept (so detections inherit the
+//! scan's self-motion distortion), perturbed with model-profile-dependent
+//! noise, plus false positives and confidence scores.
+//!
+//! [`DetectorModel::CoBevt`] and [`DetectorModel::FCooper`] differ in noise
+//! and recall exactly as the paper's Fig. 13 requires ("the choice of model
+//! plays a minor role").
+//!
+//! # Example
+//!
+//! ```
+//! use bba_detect::{Detector, DetectorModel};
+//! use bba_lidar::{LidarConfig, Scanner};
+//! use bba_scene::{Scenario, ScenarioConfig, ScenarioPreset};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Urban), 3);
+//! let scanner = Scanner::new(LidarConfig::mid_res_32());
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let scan = scanner.scan(scenario.world(), scenario.ego_trajectory(), 0.0,
+//!                         scenario.ego_id(), &mut rng);
+//! let detector = Detector::new(DetectorModel::CoBevt);
+//! let detections = detector.detect(&scan, scenario.world(), scenario.ego_trajectory(),
+//!                                  scenario.ego_id(), &mut rng);
+//! assert!(!detections.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod detector;
+
+pub use ap::{average_precision, evaluate_detections, ApResult, GroundTruthBox, RangeBand};
+pub use detector::{Detection, Detector, DetectorModel};

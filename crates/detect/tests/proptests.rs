@@ -1,0 +1,90 @@
+//! Property-based tests for the AP evaluator.
+
+use bba_detect::{average_precision, Detection, GroundTruthBox};
+use bba_geometry::{Box3, Vec3};
+use proptest::prelude::*;
+
+fn car_at(x: f64, y: f64, yaw: f64) -> Box3 {
+    Box3::new(Vec3::new(x, y, 0.8), Vec3::new(4.5, 1.9, 1.6), yaw)
+}
+
+fn any_cars(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Box3>> {
+    proptest::collection::vec(
+        (-60.0..60.0f64, -60.0..60.0f64, -3.0..3.0f64).prop_map(|(x, y, yaw)| car_at(x, y, yaw)),
+        n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn ap_is_bounded(gt in any_cars(0..8), extra in any_cars(0..5),
+                     confs in proptest::collection::vec(0.01..1.0f64, 13)) {
+        // Detections: all GT boxes plus noise boxes, arbitrary confidences.
+        let mut dets = Vec::new();
+        for (i, b) in gt.iter().chain(extra.iter()).enumerate() {
+            dets.push(Detection { box3: *b, confidence: confs[i % confs.len()], truth: None });
+        }
+        let gts: Vec<GroundTruthBox> = gt.iter().map(|&b| GroundTruthBox { box3: b }).collect();
+        let r = average_precision(&[(dets, gts)], 0.5);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r.ap));
+        prop_assert!(r.true_positives <= gt.len());
+    }
+
+    #[test]
+    fn perfect_detection_of_disjoint_gt_is_ap_one(gt in any_cars(1..8)) {
+        // Keep only mutually disjoint ground-truth boxes.
+        let mut disjoint: Vec<Box3> = Vec::new();
+        for b in gt {
+            if disjoint.iter().all(|d| d.bev_iou(&b) < 1e-9) {
+                disjoint.push(b);
+            }
+        }
+        let dets: Vec<Detection> = disjoint
+            .iter()
+            .map(|&b| Detection { box3: b, confidence: 0.9, truth: None })
+            .collect();
+        let gts: Vec<GroundTruthBox> =
+            disjoint.iter().map(|&b| GroundTruthBox { box3: b }).collect();
+        let r = average_precision(&[(dets, gts)], 0.7);
+        prop_assert!((r.ap - 1.0).abs() < 1e-9);
+        prop_assert_eq!(r.false_positives, 0);
+    }
+
+    #[test]
+    fn stricter_iou_never_raises_ap(gt in any_cars(1..6), jitter in -1.0..1.0f64) {
+        let dets: Vec<Detection> = gt
+            .iter()
+            .map(|b| Detection {
+                box3: car_at(b.center.x + jitter, b.center.y, b.yaw),
+                confidence: 0.8,
+                truth: None,
+            })
+            .collect();
+        let gts: Vec<GroundTruthBox> = gt.iter().map(|&b| GroundTruthBox { box3: b }).collect();
+        let lo = average_precision(&[(dets.clone(), gts.clone())], 0.3).ap;
+        let hi = average_precision(&[(dets, gts)], 0.7).ap;
+        prop_assert!(hi <= lo + 1e-12, "AP@0.7 ({hi}) exceeded AP@0.3 ({lo})");
+    }
+
+    #[test]
+    fn adding_false_positives_never_raises_ap(gt in any_cars(1..6), fp in any_cars(1..6)) {
+        let base: Vec<Detection> = gt
+            .iter()
+            .map(|&b| Detection { box3: b, confidence: 0.9, truth: None })
+            .collect();
+        let gts: Vec<GroundTruthBox> = gt.iter().map(|&b| GroundTruthBox { box3: b }).collect();
+        // Only count fp boxes that don't overlap any gt (true clutter), and
+        // rank them above everything so they must hurt.
+        let clutter: Vec<Detection> = fp
+            .iter()
+            .filter(|f| gt.iter().all(|g| g.bev_iou(f) < 0.05))
+            .map(|&b| Detection { box3: b, confidence: 0.95, truth: None })
+            .collect();
+        prop_assume!(!clutter.is_empty());
+        let clean = average_precision(&[(base.clone(), gts.clone())], 0.5).ap;
+        let mut noisy_dets = base;
+        noisy_dets.extend(clutter);
+        let noisy = average_precision(&[(noisy_dets, gts)], 0.5).ap;
+        prop_assert!(noisy <= clean + 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Brute-force descriptor matching with ratio test.
+//!
+//! Paper §IV-A: "we match these keypoints based on the similarity of their
+//! descriptors ... measured by the Euclidean distance". The classic Lowe
+//! ratio test rejects ambiguous matches (best ≈ second best), and an
+//! optional mutual-consistency check keeps only pairs that are each other's
+//! nearest neighbours.
+
+use crate::descriptor::Descriptor;
+use serde::{Deserialize, Serialize};
+
+/// A correspondence between descriptor indices of two sets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Match {
+    /// Index into the source (other car) descriptor set.
+    pub src: usize,
+    /// Index into the destination (ego car) descriptor set.
+    pub dst: usize,
+    /// Euclidean distance between the matched descriptors.
+    pub distance: f64,
+}
+
+/// Matching parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Lowe ratio: accept only when `best / second_best < ratio`.
+    /// Set to 1.0 to disable.
+    pub ratio: f64,
+    /// Require the match to be mutual (src's best is dst AND dst's best is
+    /// src).
+    pub mutual: bool,
+    /// Absolute distance cap; matches farther than this are rejected.
+    pub max_distance: f64,
+    /// Emit up to this many nearest candidates per source descriptor
+    /// (k > 1 trades precision for recall; RANSAC downstream rejects the
+    /// extra outliers). The ratio test compares candidate `k` against
+    /// candidate `k+1`; the mutual check applies only to `k = 0`.
+    pub keep_top_k: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig { ratio: 0.85, mutual: true, max_distance: 1.2, keep_top_k: 1 }
+    }
+}
+
+/// Matches `src` descriptors against `dst` descriptors.
+///
+/// Returns matches sorted by ascending distance.
+pub fn match_descriptors(
+    src: &[Descriptor],
+    dst: &[Descriptor],
+    config: &MatcherConfig,
+) -> Vec<Match> {
+    if src.is_empty() || dst.is_empty() {
+        return Vec::new();
+    }
+
+    let k = config.keep_top_k.max(1);
+
+    // The k+1 nearest dst for every src (k matches plus the ratio-test
+    // reference).
+    let nearest = |from: &Descriptor, pool: &[Descriptor], count: usize| -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> =
+            pool.iter().enumerate().map(|(j, c)| (j, from.distance_sq(c))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.truncate(count);
+        all.into_iter().map(|(j, d)| (j, d.sqrt())).collect()
+    };
+
+    // Precompute dst→src best indices for the mutual check.
+    let dst_best: Vec<usize> = if config.mutual {
+        dst.iter().map(|d| nearest(d, src, 1)[0].0).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut out = Vec::new();
+    for (i, s) in src.iter().enumerate() {
+        let cands = nearest(s, dst, k + 1);
+        for rank in 0..k.min(cands.len()) {
+            let (j, d1) = cands[rank];
+            if d1 > config.max_distance {
+                break; // candidates are sorted; the rest are farther
+            }
+            if config.ratio < 1.0 {
+                if let Some(&(_, d_next)) = cands.get(rank + 1) {
+                    if d1 >= config.ratio * d_next {
+                        break;
+                    }
+                }
+            }
+            if config.mutual && rank == 0 && dst_best[j] != i {
+                break;
+            }
+            out.push(Match { src: i, dst: j, distance: d1 });
+        }
+    }
+    out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keypoints::Keypoint;
+
+    fn desc(at: usize, v: &[f32]) -> Descriptor {
+        // L2-normalise to mirror real descriptors.
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        Descriptor {
+            keypoint: Keypoint { u: at, v: at, score: 1.0 },
+            vector: v.iter().map(|x| x / norm.max(1e-12)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_no_matches() {
+        let a = [desc(0, &[1.0, 0.0])];
+        assert!(match_descriptors(&[], &a, &MatcherConfig::default()).is_empty());
+        assert!(match_descriptors(&a, &[], &MatcherConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn identical_sets_match_one_to_one() {
+        let set: Vec<Descriptor> = vec![
+            desc(0, &[1.0, 0.0, 0.0, 0.0]),
+            desc(1, &[0.0, 1.0, 0.0, 0.0]),
+            desc(2, &[0.0, 0.0, 1.0, 0.0]),
+        ];
+        let matches = match_descriptors(&set, &set, &MatcherConfig::default());
+        assert_eq!(matches.len(), 3);
+        for m in matches {
+            assert_eq!(m.src, m.dst);
+            assert!(m.distance < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous() {
+        // dst contains two near-identical candidates: ambiguous for src[0].
+        let src = [desc(0, &[1.0, 0.05, 0.0, 0.0])];
+        let dst = [desc(0, &[1.0, 0.0, 0.0, 0.0]), desc(1, &[1.0, 0.1, 0.0, 0.0])];
+        let strict = MatcherConfig { ratio: 0.5, mutual: false, max_distance: 10.0, keep_top_k: 1 };
+        assert!(match_descriptors(&src, &dst, &strict).is_empty());
+        let lax = MatcherConfig { ratio: 1.0, mutual: false, max_distance: 10.0, keep_top_k: 1 };
+        assert_eq!(match_descriptors(&src, &dst, &lax).len(), 1);
+    }
+
+    #[test]
+    fn mutual_check_rejects_one_sided() {
+        // src[1] is closer to dst[0] than src[0] is, so src[0]→dst[0] is
+        // not mutual.
+        let src = [desc(0, &[1.0, 0.3, 0.0, 0.0]), desc(1, &[1.0, 0.05, 0.0, 0.0])];
+        let dst = [desc(0, &[1.0, 0.0, 0.0, 0.0])];
+        let cfg = MatcherConfig { ratio: 1.0, mutual: true, max_distance: 10.0, keep_top_k: 1 };
+        let matches = match_descriptors(&src, &dst, &cfg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].src, 1);
+    }
+
+    #[test]
+    fn max_distance_caps_matches() {
+        let src = [desc(0, &[1.0, 0.0, 0.0, 0.0])];
+        let dst = [desc(0, &[0.0, 1.0, 0.0, 0.0])]; // distance √2
+        let cfg = MatcherConfig { ratio: 1.0, mutual: false, max_distance: 1.0, keep_top_k: 1 };
+        assert!(match_descriptors(&src, &dst, &cfg).is_empty());
+    }
+
+    #[test]
+    fn output_sorted_by_distance() {
+        let src = [
+            desc(0, &[1.0, 0.0, 0.0, 0.0]),
+            desc(1, &[0.0, 1.0, 0.02, 0.0]),
+            desc(2, &[0.0, 0.0, 1.0, 0.1]),
+        ];
+        let dst = [
+            desc(0, &[1.0, 0.01, 0.0, 0.0]),
+            desc(1, &[0.0, 1.0, 0.0, 0.0]),
+            desc(2, &[0.0, 0.0, 1.0, 0.0]),
+        ];
+        let cfg = MatcherConfig { ratio: 1.0, mutual: false, max_distance: 10.0, keep_top_k: 1 };
+        let matches = match_descriptors(&src, &dst, &cfg);
+        assert_eq!(matches.len(), 3);
+        for pair in matches.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+}

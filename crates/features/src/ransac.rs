@@ -1,0 +1,292 @@
+//! RANSAC estimation of a rigid 2-D transform from point correspondences.
+//!
+//! Both stages of BB-Align end in this primitive (Algorithm 1, lines 11 and
+//! 14). The returned inlier count is the paper's confidence signal: §V-A
+//! declares a recovery successful when `Inliers_bv > 25` and
+//! `Inliers_box > 6`.
+
+use bba_geometry::{fit_rigid_2d, Iso2, Vec2};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// RANSAC parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RansacConfig {
+    /// Maximum sampling iterations.
+    pub max_iterations: usize,
+    /// A correspondence is an inlier when the transformed source point lies
+    /// within this distance of its destination (same unit as the points —
+    /// pixels for stage 1, metres for stage 2).
+    pub inlier_threshold: f64,
+    /// Reject results with fewer inliers than this.
+    pub min_inliers: usize,
+    /// Stop early once this inlier *fraction* is reached (adaptive exit).
+    pub early_exit_fraction: f64,
+}
+
+impl Default for RansacConfig {
+    fn default() -> Self {
+        RansacConfig {
+            max_iterations: 400,
+            inlier_threshold: 2.0,
+            min_inliers: 4,
+            early_exit_fraction: 0.8,
+        }
+    }
+}
+
+/// RANSAC output: the refit transform plus its consensus set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RansacResult {
+    /// The rigid transform refit on all inliers.
+    pub transform: Iso2,
+    /// Indices of the inlier correspondences.
+    pub inliers: Vec<usize>,
+    /// `inliers.len()` — the paper's `Inliers_bv` / `Inliers_box`.
+    pub num_inliers: usize,
+    /// Number of iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Failure modes of RANSAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RansacError {
+    /// Fewer than two correspondences supplied.
+    TooFewCorrespondences {
+        /// How many were supplied.
+        got: usize,
+    },
+    /// Source/destination lengths differ.
+    LengthMismatch {
+        /// Source length.
+        src: usize,
+        /// Destination length.
+        dst: usize,
+    },
+    /// No model reached [`RansacConfig::min_inliers`].
+    NoConsensus {
+        /// Best inlier count observed.
+        best: usize,
+        /// The configured minimum.
+        required: usize,
+    },
+}
+
+impl fmt::Display for RansacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RansacError::TooFewCorrespondences { got } => {
+                write!(f, "RANSAC needs at least 2 correspondences, got {got}")
+            }
+            RansacError::LengthMismatch { src, dst } => {
+                write!(f, "source has {src} points, destination {dst}")
+            }
+            RansacError::NoConsensus { best, required } => {
+                write!(f, "no consensus: best model had {best} inliers, {required} required")
+            }
+        }
+    }
+}
+
+impl Error for RansacError {}
+
+/// Estimates the rigid transform mapping `src[i]` near `dst[i]` in the
+/// presence of outliers.
+///
+/// # Errors
+///
+/// Returns [`RansacError`] on malformed input or when no model reaches
+/// `min_inliers`.
+pub fn ransac_rigid<R: Rng + ?Sized>(
+    src: &[Vec2],
+    dst: &[Vec2],
+    config: &RansacConfig,
+    rng: &mut R,
+) -> Result<RansacResult, RansacError> {
+    if src.len() != dst.len() {
+        return Err(RansacError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    let n = src.len();
+    if n < 2 {
+        return Err(RansacError::TooFewCorrespondences { got: n });
+    }
+
+    let thresh_sq = config.inlier_threshold * config.inlier_threshold;
+    let mut best_inliers: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+        // Minimal sample: two distinct correspondences.
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n);
+        if n > 1 {
+            while j == i {
+                j = rng.random_range(0..n);
+            }
+        }
+        // Degenerate (coincident) samples cannot define a rotation.
+        if (src[i] - src[j]).norm_sq() < 1e-12 {
+            continue;
+        }
+        let Ok(model) = fit_rigid_2d(&[src[i], src[j]], &[dst[i], dst[j]]) else {
+            continue;
+        };
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&k| (model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq)
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+            if best_inliers.len() as f64 >= config.early_exit_fraction * n as f64 {
+                break;
+            }
+        }
+    }
+
+    if best_inliers.len() < config.min_inliers.max(2) {
+        return Err(RansacError::NoConsensus {
+            best: best_inliers.len(),
+            required: config.min_inliers.max(2),
+        });
+    }
+
+    // Refit on the consensus set, then re-evaluate inliers once (a single
+    // guided re-estimation pass markedly stabilises the estimate).
+    let refit = |idx: &[usize]| {
+        let s: Vec<Vec2> = idx.iter().map(|&k| src[k]).collect();
+        let d: Vec<Vec2> = idx.iter().map(|&k| dst[k]).collect();
+        fit_rigid_2d(&s, &d)
+    };
+    let mut transform = refit(&best_inliers).map_err(|_| RansacError::NoConsensus {
+        best: best_inliers.len(),
+        required: config.min_inliers.max(2),
+    })?;
+    let expanded: Vec<usize> = (0..n)
+        .filter(|&k| (transform.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq)
+        .collect();
+    if expanded.len() >= best_inliers.len() {
+        if let Ok(t2) = refit(&expanded) {
+            transform = t2;
+            best_inliers = expanded;
+        }
+    }
+
+    Ok(RansacResult {
+        transform,
+        num_inliers: best_inliers.len(),
+        inliers: best_inliers,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> Iso2 {
+        Iso2::new(0.6, Vec2::new(5.0, -3.0))
+    }
+
+    fn clean_pairs(n: usize) -> (Vec<Vec2>, Vec<Vec2>) {
+        let t = truth();
+        let src: Vec<Vec2> = (0..n)
+            .map(|i| Vec2::new((i * 13 % 29) as f64, (i * 7 % 31) as f64))
+            .collect();
+        let dst = src.iter().map(|&p| t.apply(p)).collect();
+        (src, dst)
+    }
+
+    #[test]
+    fn recovers_exact_transform_without_outliers() {
+        let (src, dst) = clean_pairs(25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = ransac_rigid(&src, &dst, &RansacConfig::default(), &mut rng).unwrap();
+        assert!(r.transform.approx_eq(&truth(), 1e-9, 1e-9));
+        assert_eq!(r.num_inliers, 25);
+    }
+
+    #[test]
+    fn survives_half_outliers() {
+        let (src, mut dst) = clean_pairs(40);
+        for k in 0..20 {
+            dst[2 * k] = Vec2::new(1000.0 + k as f64 * 17.0, -500.0 - k as f64 * 3.0);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = ransac_rigid(&src, &dst, &RansacConfig::default(), &mut rng).unwrap();
+        assert!(r.transform.approx_eq(&truth(), 1e-6, 1e-6));
+        assert_eq!(r.num_inliers, 20);
+        // Inlier list contains exactly the odd indices.
+        assert!(r.inliers.iter().all(|&i| i % 2 == 1));
+    }
+
+    #[test]
+    fn noisy_inliers_average_out() {
+        let (src, dst) = clean_pairs(60);
+        // ±0.3 deterministic perturbation.
+        let dst: Vec<Vec2> = dst
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p + Vec2::new(0.3 * ((i % 3) as f64 - 1.0), 0.3 * ((i % 5) as f64 - 2.0) / 2.0))
+            .collect();
+        let cfg = RansacConfig { inlier_threshold: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = ransac_rigid(&src, &dst, &cfg, &mut rng).unwrap();
+        let (dt, dr) = r.transform.error_to(&truth());
+        assert!(dt < 0.2, "translation error {dt}");
+        assert!(dr < 0.02, "rotation error {dr}");
+    }
+
+    #[test]
+    fn too_few_points_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = ransac_rigid(&[Vec2::ZERO], &[Vec2::ZERO], &RansacConfig::default(), &mut rng)
+            .unwrap_err();
+        assert_eq!(e, RansacError::TooFewCorrespondences { got: 1 });
+    }
+
+    #[test]
+    fn length_mismatch_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = ransac_rigid(&[Vec2::ZERO], &[], &RansacConfig::default(), &mut rng).unwrap_err();
+        assert_eq!(e, RansacError::LengthMismatch { src: 1, dst: 0 });
+    }
+
+    #[test]
+    fn pure_noise_yields_no_consensus() {
+        let src: Vec<Vec2> = (0..30).map(|i| Vec2::new(i as f64 * 3.1, (i * i) as f64 % 17.0)).collect();
+        let dst: Vec<Vec2> =
+            (0..30).map(|i| Vec2::new((i * i * 7) as f64 % 97.0, -(i as f64) * 5.3)).collect();
+        let cfg = RansacConfig { inlier_threshold: 0.05, min_inliers: 10, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        match ransac_rigid(&src, &dst, &cfg, &mut rng) {
+            Err(RansacError::NoConsensus { best, required }) => {
+                assert!(best < required);
+            }
+            other => panic!("expected NoConsensus, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_iterating() {
+        let (src, dst) = clean_pairs(50);
+        let cfg = RansacConfig { max_iterations: 1000, early_exit_fraction: 0.5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = ransac_rigid(&src, &dst, &cfg, &mut rng).unwrap();
+        assert!(r.iterations < 1000, "clean data should exit early, took {}", r.iterations);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        for e in [
+            RansacError::TooFewCorrespondences { got: 0 },
+            RansacError::LengthMismatch { src: 1, dst: 2 },
+            RansacError::NoConsensus { best: 1, required: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

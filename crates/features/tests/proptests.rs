@@ -1,0 +1,132 @@
+//! Property-based tests for keypoints, matching and RANSAC.
+
+use bba_features::{
+    detect_keypoints, match_descriptors, ransac_rigid, Descriptor, Keypoint, KeypointConfig,
+    MatcherConfig, RansacConfig,
+};
+use bba_geometry::{Iso2, Vec2};
+use bba_signal::Grid;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_iso2() -> impl Strategy<Value = Iso2> {
+    (-3.0..3.0f64, -50.0..50.0f64, -50.0..50.0f64)
+        .prop_map(|(a, x, y)| Iso2::new(a, Vec2::new(x, y)))
+}
+
+fn spread_points(n: usize) -> impl Strategy<Value = Vec<Vec2>> {
+    proptest::collection::vec((-80.0..80.0f64, -80.0..80.0f64).prop_map(|(x, y)| Vec2::new(x, y)), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ransac_recovers_under_outliers(
+        t in any_iso2(),
+        pts in spread_points(30),
+        outlier_mask in proptest::collection::vec(any::<bool>(), 30),
+        seed in 0u64..1000,
+    ) {
+        // Require enough inliers with spatial spread.
+        let inlier_pts: Vec<Vec2> = pts
+            .iter()
+            .zip(&outlier_mask)
+            .filter(|(_, &o)| !o)
+            .map(|(&p, _)| p)
+            .collect();
+        prop_assume!(inlier_pts.len() >= 12);
+        let mean = inlier_pts.iter().fold(Vec2::ZERO, |a, &b| a + b) / inlier_pts.len() as f64;
+        let spread: f64 = inlier_pts.iter().map(|p| (*p - mean).norm_sq()).sum();
+        prop_assume!(spread > 100.0);
+
+        // Outliers get per-index incoherent displacements: a shared offset
+        // would itself be a valid rigid model competing with the truth.
+        let dst: Vec<Vec2> = pts
+            .iter()
+            .zip(&outlier_mask)
+            .enumerate()
+            .map(|(i, (&p, &o))| {
+                if o {
+                    p + Vec2::new(300.0 + 37.0 * i as f64, -200.0 + ((i * i * 53) % 97) as f64)
+                } else {
+                    t.apply(p)
+                }
+            })
+            .collect();
+        let cfg = RansacConfig { inlier_threshold: 0.5, min_inliers: 8, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = ransac_rigid(&pts, &dst, &cfg, &mut rng).unwrap();
+        prop_assert!(r.transform.approx_eq(&t, 1e-5, 1e-5), "got {} want {}", r.transform, t);
+        prop_assert_eq!(r.num_inliers, inlier_pts.len());
+    }
+
+    #[test]
+    fn keypoints_never_exceed_cap_and_stay_in_bounds(
+        cells in proptest::collection::vec(0.0..10.0f64, 32 * 32),
+        cap in 1usize..50,
+    ) {
+        let img = Grid::from_vec(32, 32, cells);
+        let cfg = KeypointConfig { max_keypoints: cap, ..Default::default() };
+        let kps = detect_keypoints(&img, &cfg);
+        prop_assert!(kps.len() <= cap);
+        for kp in &kps {
+            prop_assert!(kp.u >= cfg.border && kp.u < 32 - cfg.border);
+            prop_assert!(kp.v >= cfg.border && kp.v < 32 - cfg.border);
+            prop_assert!(kp.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn matcher_respects_one_best_per_source(
+        vecs in proptest::collection::vec(proptest::collection::vec(0.0f32..1.0, 8), 2..12),
+    ) {
+        let descs: Vec<Descriptor> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                Descriptor {
+                    keypoint: Keypoint { u: i, v: i, score: 1.0 },
+                    vector: v.iter().map(|x| x / norm).collect(),
+                }
+            })
+            .collect();
+        let cfg = MatcherConfig { ratio: 1.0, mutual: false, max_distance: 10.0, keep_top_k: 1 };
+        let matches = match_descriptors(&descs, &descs, &cfg);
+        // k = 1: at most one match per source index.
+        let mut seen = std::collections::HashSet::new();
+        for m in &matches {
+            prop_assert!(seen.insert(m.src), "duplicate source {}", m.src);
+            prop_assert!(m.distance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn top_k_is_superset_of_top_1(
+        vecs in proptest::collection::vec(proptest::collection::vec(0.0f32..1.0, 6), 3..10),
+    ) {
+        let descs: Vec<Descriptor> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                Descriptor {
+                    keypoint: Keypoint { u: i, v: i, score: 1.0 },
+                    vector: v.iter().map(|x| x / norm).collect(),
+                }
+            })
+            .collect();
+        let base = MatcherConfig { ratio: 1.0, mutual: false, max_distance: 10.0, keep_top_k: 1 };
+        let wide = MatcherConfig { keep_top_k: 3, ..base.clone() };
+        let m1 = match_descriptors(&descs, &descs, &base);
+        let m3 = match_descriptors(&descs, &descs, &wide);
+        for m in &m1 {
+            prop_assert!(
+                m3.iter().any(|x| x.src == m.src && x.dst == m.dst),
+                "top-1 match lost at k=3"
+            );
+        }
+    }
+}

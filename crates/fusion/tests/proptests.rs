@@ -1,0 +1,68 @@
+//! Property-based tests for the fusion evidence model.
+
+use bba_dataset::{Dataset, DatasetConfig};
+use bba_detect::average_precision;
+use bba_fusion::{FusionExperiment, FusionMethod};
+use bba_geometry::{Iso2, Vec2};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_method() -> impl Strategy<Value = FusionMethod> {
+    prop_oneof![
+        Just(FusionMethod::Early),
+        Just(FusionMethod::Late),
+        Just(FusionMethod::FCooper),
+        Just(FusionMethod::CoBevt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn detections_are_well_formed(method in any_method(), seed in 0u64..40,
+                                  ex in -4.0..4.0f64, ey in -4.0..4.0f64) {
+        let mut ds = Dataset::new(DatasetConfig::test_small(), seed);
+        let pair = ds.next_pair().unwrap();
+        let pose = Iso2::new(
+            pair.true_relative.yaw(),
+            pair.true_relative.translation() + Vec2::new(ex, ey),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exp = FusionExperiment::new(method);
+        let (dets, gt) = exp.run_frame(&pair, &pose, &mut rng);
+        prop_assert_eq!(gt.len(), pair.gt_vehicles_ego.len());
+        for d in &dets {
+            prop_assert!((0.0..=1.0).contains(&d.confidence));
+            prop_assert!(d.box3.center.xy().is_finite());
+            prop_assert!(d.box3.extents.x > 0.0 && d.box3.extents.y > 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_pose_error_never_helps_much(method in any_method(), seed in 0u64..20) {
+        // AP under a 5 m error should not beat AP under the true pose by a
+        // margin (small-sample noise allowed).
+        let mut ds = Dataset::new(DatasetConfig::test_small(), seed);
+        let frames: Vec<_> = (0..3).map(|_| ds.next_pair().unwrap()).collect();
+        let exp = FusionExperiment::new(method);
+        let ap_for = |offset: Vec2| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let evaluated: Vec<_> = frames
+                .iter()
+                .map(|pair| {
+                    let pose = Iso2::new(
+                        pair.true_relative.yaw(),
+                        pair.true_relative.translation() + offset,
+                    );
+                    exp.run_frame(pair, &pose, &mut rng)
+                })
+                .collect();
+            average_precision(&evaluated, 0.5).ap
+        };
+        let clean = ap_for(Vec2::ZERO);
+        let bad = ap_for(Vec2::new(5.0, 3.0));
+        prop_assert!(bad <= clean + 0.15, "error helped: clean {clean:.2}, bad {bad:.2}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Convex-polygon clipping and rotated-rectangle IoU.
+//!
+//! The AP@IoU evaluation of the paper's Table I and the late-fusion NMS both
+//! need the intersection-over-union of *oriented* BEV rectangles, which in
+//! turn needs convex polygon intersection (Sutherland–Hodgman clipping).
+
+use crate::boxes::BevBox;
+use crate::vec::Vec2;
+
+/// Signed area of a simple polygon (positive for counter-clockwise winding).
+///
+/// ```
+/// use bba_geometry::{convex_area, Vec2};
+/// let square = [
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(2.0, 0.0),
+///     Vec2::new(2.0, 2.0),
+///     Vec2::new(0.0, 2.0),
+/// ];
+/// assert!((convex_area(&square) - 4.0).abs() < 1e-12);
+/// ```
+pub fn convex_area(poly: &[Vec2]) -> f64 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..poly.len() {
+        let a = poly[i];
+        let b = poly[(i + 1) % poly.len()];
+        acc += a.cross(b);
+    }
+    0.5 * acc
+}
+
+/// Clips the convex `subject` polygon against the convex `clip` polygon
+/// (Sutherland–Hodgman). Both polygons must wind counter-clockwise.
+///
+/// Returns the intersection polygon (may be empty).
+pub fn intersect_convex(subject: &[Vec2], clip: &[Vec2]) -> Vec<Vec2> {
+    if subject.len() < 3 || clip.len() < 3 {
+        return Vec::new();
+    }
+    let mut output: Vec<Vec2> = subject.to_vec();
+    for i in 0..clip.len() {
+        if output.is_empty() {
+            break;
+        }
+        let a = clip[i];
+        let b = clip[(i + 1) % clip.len()];
+        let edge = b - a;
+        let input = std::mem::take(&mut output);
+        let inside = |p: Vec2| edge.cross(p - a) >= -1e-12;
+        for j in 0..input.len() {
+            let cur = input[j];
+            let prev = input[(j + input.len() - 1) % input.len()];
+            let cur_in = inside(cur);
+            let prev_in = inside(prev);
+            if cur_in {
+                if !prev_in {
+                    if let Some(x) = line_intersection(prev, cur, a, b) {
+                        output.push(x);
+                    }
+                }
+                output.push(cur);
+            } else if prev_in {
+                if let Some(x) = line_intersection(prev, cur, a, b) {
+                    output.push(x);
+                }
+            }
+        }
+    }
+    output
+}
+
+/// Intersection of segment `p0-p1` with the infinite line through `a-b`.
+fn line_intersection(p0: Vec2, p1: Vec2, a: Vec2, b: Vec2) -> Option<Vec2> {
+    let d = p1 - p0;
+    let e = b - a;
+    let denom = d.cross(e);
+    if denom.abs() < 1e-300 {
+        return None; // parallel
+    }
+    let t = (a - p0).cross(e) / denom;
+    Some(p0 + d * t)
+}
+
+/// Area of the intersection of two oriented rectangles.
+pub fn obb_intersection_area(a: &BevBox, b: &BevBox) -> f64 {
+    // Quick reject via circumscribed circles.
+    let r = a.circumradius() + b.circumradius();
+    if a.center.distance(b.center) > r {
+        return 0.0;
+    }
+    let inter = intersect_convex(&a.corners(), &b.corners());
+    convex_area(&inter).max(0.0)
+}
+
+/// Intersection-over-union of two oriented rectangles, in `[0, 1]`.
+///
+/// ```
+/// use bba_geometry::{obb_iou, BevBox, Vec2};
+/// let a = BevBox::new(Vec2::ZERO, Vec2::new(2.0, 2.0), 0.0);
+/// let b = BevBox::new(Vec2::new(1.0, 0.0), Vec2::new(2.0, 2.0), 0.0);
+/// assert!((obb_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-9);
+/// ```
+pub fn obb_iou(a: &BevBox, b: &BevBox) -> f64 {
+    let inter = obb_intersection_area(a, b);
+    if inter <= 0.0 {
+        return 0.0;
+    }
+    let union = a.area() + b.area() - inter;
+    (inter / union).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    fn unit_square_at(x: f64, y: f64) -> BevBox {
+        BevBox::new(Vec2::new(x, y), Vec2::new(1.0, 1.0), 0.0)
+    }
+
+    #[test]
+    fn area_of_triangle() {
+        let tri = [Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0)];
+        assert!((convex_area(&tri) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_degenerate_is_zero() {
+        assert_eq!(convex_area(&[]), 0.0);
+        assert_eq!(convex_area(&[Vec2::ZERO, Vec2::new(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn clip_disjoint_is_empty() {
+        let a = unit_square_at(0.0, 0.0);
+        let b = unit_square_at(5.0, 5.0);
+        assert!(intersect_convex(&a.corners(), &b.corners()).is_empty());
+        assert_eq!(obb_iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn clip_contained_returns_inner() {
+        let outer = BevBox::new(Vec2::ZERO, Vec2::new(10.0, 10.0), 0.0);
+        let inner = BevBox::new(Vec2::new(1.0, 1.0), Vec2::new(2.0, 2.0), 0.3);
+        let inter = obb_intersection_area(&outer, &inner);
+        assert!((inter - inner.area()).abs() < 1e-9);
+        let iou = obb_iou(&outer, &inner);
+        assert!((iou - inner.area() / outer.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_overlap_axis_aligned() {
+        let a = unit_square_at(0.0, 0.0);
+        let b = unit_square_at(0.5, 0.0);
+        let inter = obb_intersection_area(&a, &b);
+        assert!((inter - 0.5).abs() < 1e-9);
+        assert!((obb_iou(&a, &b) - 0.5 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_square_intersection_is_octagon() {
+        // A unit square and the same square rotated 45° about its centre:
+        // intersection is a regular octagon of area 2(√2 − 1).
+        let a = BevBox::new(Vec2::ZERO, Vec2::new(1.0, 1.0), 0.0);
+        let b = BevBox::new(Vec2::ZERO, Vec2::new(1.0, 1.0), FRAC_PI_4);
+        let inter = obb_intersection_area(&a, &b);
+        let expect = 2.0 * (2f64.sqrt() - 1.0);
+        assert!((inter - expect).abs() < 1e-9, "{inter} vs {expect}");
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded() {
+        let a = BevBox::new(Vec2::new(0.3, -0.2), Vec2::new(4.5, 1.9), 0.2);
+        let b = BevBox::new(Vec2::new(1.0, 0.5), Vec2::new(4.2, 1.8), -0.4);
+        let ab = obb_iou(&a, &b);
+        let ba = obb_iou(&b, &a);
+        assert!((ab - ba).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn touching_squares_have_zero_iou() {
+        let a = unit_square_at(0.0, 0.0);
+        let b = unit_square_at(1.0, 0.0);
+        assert!(obb_iou(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn iou_decreases_with_offset() {
+        let a = unit_square_at(0.0, 0.0);
+        let mut last = 1.0;
+        for k in 1..=9 {
+            let b = unit_square_at(k as f64 * 0.1, 0.0);
+            let iou = obb_iou(&a, &b);
+            assert!(iou < last, "IoU must decrease monotonically");
+            last = iou;
+        }
+    }
+}

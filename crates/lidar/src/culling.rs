@@ -1,0 +1,154 @@
+//! Azimuth-bucket culling: a cheap spatial index for the ray caster.
+//!
+//! A naive caster tests every ray against every obstacle
+//! (`O(rays × obstacles)`). Since all rays of one firing share an azimuth,
+//! we precompute, per obstacle, the interval of azimuths under which it is
+//! visible from the sensor position (centre bearing ± angular radius) and
+//! bucket obstacle indices by azimuth. Each firing then only tests the
+//! obstacles in its bucket — typically a 10–30× reduction for road scenes.
+
+use bba_geometry::Vec2;
+use bba_scene::Obstacle;
+use std::f64::consts::TAU;
+
+/// Per-azimuth-bucket lists of obstacle indices visible from a sensor
+/// position.
+#[derive(Debug, Clone)]
+pub struct AzimuthIndex {
+    buckets: Vec<Vec<u32>>,
+}
+
+impl AzimuthIndex {
+    /// Builds the index for a sensor at `sensor_xy` with `bucket_count`
+    /// azimuth bins, considering obstacles within `max_range`.
+    ///
+    /// `inflate_radius` is added to every obstacle's bounding radius; the
+    /// scanner uses it to absorb the sensor's own movement during the sweep
+    /// (self-motion), so late-sweep firings still find their obstacles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` is zero.
+    pub fn build(
+        sensor_xy: Vec2,
+        obstacles: &[Obstacle],
+        bucket_count: usize,
+        max_range: f64,
+        inflate_radius: f64,
+    ) -> Self {
+        assert!(bucket_count > 0, "need at least one azimuth bucket");
+        let mut buckets = vec![Vec::new(); bucket_count];
+        let bucket_width = TAU / bucket_count as f64;
+        for (idx, obs) in obstacles.iter().enumerate() {
+            let rel = obs.shape.center_xy() - sensor_xy;
+            let dist = rel.norm();
+            let radius = obs.shape.bounding_radius_xy() + inflate_radius.max(0.0);
+            if dist - radius > max_range {
+                continue; // entirely out of range
+            }
+            if dist <= radius + 1e-9 {
+                // Sensor inside the footprint: visible at every azimuth.
+                for b in &mut buckets {
+                    b.push(idx as u32);
+                }
+                continue;
+            }
+            let center = rel.angle();
+            // Angular half-width subtended by the bounding circle, plus one
+            // bucket of safety margin.
+            let half = (radius / dist).min(1.0).asin() + bucket_width;
+            let lo = ((center - half).rem_euclid(TAU) / bucket_width) as usize % bucket_count;
+            let span = (2.0 * half / bucket_width).ceil() as usize + 1;
+            for k in 0..span.min(bucket_count) {
+                buckets[(lo + k) % bucket_count].push(idx as u32);
+            }
+        }
+        AzimuthIndex { buckets }
+    }
+
+    /// Obstacle indices possibly visible at world-frame azimuth `angle`.
+    pub fn candidates(&self, angle: f64) -> &[u32] {
+        let n = self.buckets.len();
+        let b = (angle.rem_euclid(TAU) / (TAU / n as f64)) as usize % n;
+        &self.buckets[b]
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Mean bucket occupancy — a measure of culling effectiveness.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        self.buckets.iter().map(|b| b.len()).sum::<usize>() as f64 / self.buckets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bba_geometry::{Box3, Vec3};
+    use bba_scene::{ObjectKind, ObstacleId, Shape};
+
+    fn box_at(id: u32, x: f64, y: f64) -> Obstacle {
+        Obstacle::new(
+            ObstacleId(id),
+            ObjectKind::Building,
+            Shape::Box(Box3::new(Vec3::new(x, y, 2.0), Vec3::new(4.0, 4.0, 4.0), 0.0)),
+        )
+    }
+
+    #[test]
+    fn candidate_contains_obstacle_on_its_bearing() {
+        let obstacles = vec![box_at(0, 20.0, 0.0), box_at(1, 0.0, 20.0), box_at(2, -20.0, 0.0)];
+        let idx = AzimuthIndex::build(Vec2::ZERO, &obstacles, 360, 100.0, 0.0);
+        assert!(idx.candidates(0.0).contains(&0));
+        assert!(idx.candidates(std::f64::consts::FRAC_PI_2).contains(&1));
+        assert!(idx.candidates(std::f64::consts::PI).contains(&2));
+        // And not on the opposite bearing.
+        assert!(!idx.candidates(std::f64::consts::PI).contains(&0));
+    }
+
+    #[test]
+    fn out_of_range_obstacles_are_dropped() {
+        let obstacles = vec![box_at(0, 500.0, 0.0)];
+        let idx = AzimuthIndex::build(Vec2::ZERO, &obstacles, 90, 100.0, 0.0);
+        for b in 0..90 {
+            assert!(idx.candidates(b as f64 * TAU / 90.0).is_empty());
+        }
+    }
+
+    #[test]
+    fn sensor_inside_footprint_visible_everywhere() {
+        let obstacles = vec![box_at(0, 0.5, 0.5)];
+        let idx = AzimuthIndex::build(Vec2::ZERO, &obstacles, 36, 100.0, 0.0);
+        for b in 0..36 {
+            assert!(idx.candidates(b as f64 * TAU / 36.0).contains(&0));
+        }
+    }
+
+    #[test]
+    fn culling_reduces_candidates() {
+        // A ring of obstacles: each azimuth should only see a few.
+        let obstacles: Vec<Obstacle> = (0..36)
+            .map(|k| {
+                let a = k as f64 * TAU / 36.0;
+                box_at(k, 50.0 * a.cos(), 50.0 * a.sin())
+            })
+            .collect();
+        let idx = AzimuthIndex::build(Vec2::ZERO, &obstacles, 360, 100.0, 0.0);
+        assert!(idx.mean_candidates() < 5.0, "mean {}", idx.mean_candidates());
+    }
+
+    #[test]
+    fn wraparound_interval_covers_seam() {
+        // Obstacle exactly on the ±π seam.
+        let obstacles = vec![box_at(0, -30.0, 0.1)];
+        let idx = AzimuthIndex::build(Vec2::ZERO, &obstacles, 720, 100.0, 0.0);
+        assert!(idx.candidates(std::f64::consts::PI - 0.001).contains(&0));
+        assert!(idx.candidates(-std::f64::consts::PI + 0.001).contains(&0));
+    }
+}

@@ -1,0 +1,52 @@
+//! A spinning-LiDAR simulator: the sensing substrate for the BB-Align
+//! reproduction.
+//!
+//! The paper's data source (V2V4Real) consists of real scans from two
+//! differently-equipped vehicles. This crate reproduces the *properties* of
+//! such scans by ray-casting the procedural world of `bba-scene`:
+//!
+//! * a multi-channel spinning sensor ([`LidarConfig`]) with per-channel
+//!   elevation angles, azimuth resolution, maximum range, range noise and
+//!   dropouts — presets model heterogeneous sensor pairs
+//!   ([`LidarConfig::high_res_64`] vs [`LidarConfig::low_res_16`]);
+//! * occlusion via nearest-hit ray casting against boxes, cylinders,
+//!   spheres and the ground plane ([`ray`]);
+//! * **self-motion distortion** ([`scanner`]): a sweep takes
+//!   [`LidarConfig::scan_duration`] seconds, during which the sensor pose
+//!   advances along its trajectory; returns are expressed in the
+//!   instantaneous sensor frame and naively accumulated into the scan-start
+//!   frame, exactly the artefact that motivates BB-Align's stage 2.
+//!
+//! # Example
+//!
+//! ```
+//! use bba_lidar::{LidarConfig, Scanner};
+//! use bba_scene::{Scenario, ScenarioConfig, ScenarioPreset};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let scenario = Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Suburban), 7);
+//! let scanner = Scanner::new(LidarConfig::mid_res_32());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let scan = scanner.scan(
+//!     scenario.world(),
+//!     scenario.ego_trajectory(),
+//!     0.0,
+//!     scenario.ego_id(),
+//!     &mut rng,
+//! );
+//! assert!(scan.points().len() > 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod culling;
+pub mod ray;
+pub mod scan;
+pub mod scanner;
+
+pub use config::LidarConfig;
+pub use culling::AzimuthIndex;
+pub use ray::{ray_box, ray_cylinder, ray_ground, ray_sphere, Ray};
+pub use scan::{Scan, ScanPoint};
+pub use scanner::Scanner;

@@ -1,0 +1,257 @@
+//! Ray–primitive intersections for the LiDAR ray caster.
+//!
+//! All functions return the ray parameter `t ≥ 0` of the *nearest* hit (the
+//! hit point is `origin + dir · t`), or `None`. Directions are expected to
+//! be unit length so `t` is metric range.
+
+use bba_geometry::{Box3, Vec2, Vec3};
+
+/// A ray with unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Start point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalising the direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is (near-)zero.
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        let dir = dir.normalized().expect("ray direction must be nonzero");
+        Ray { origin, dir }
+    }
+
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// Intersection with the ground plane `z = 0`, for downward rays only.
+pub fn ray_ground(ray: &Ray) -> Option<f64> {
+    if ray.dir.z >= -1e-12 {
+        return None; // parallel or upward
+    }
+    let t = -ray.origin.z / ray.dir.z;
+    (t > 1e-9).then_some(t)
+}
+
+/// Intersection with an oriented 3-D box (slab method in the box frame).
+pub fn ray_box(ray: &Ray, b: &Box3) -> Option<f64> {
+    // Transform the ray into the box frame (box centre at origin, box axes
+    // aligned with x/y; z is unrotated).
+    let rel = ray.origin - b.center;
+    let (s, c) = b.yaw.sin_cos();
+    let rot_xy = |v: Vec3| Vec3::new(c * v.x + s * v.y, -s * v.x + c * v.y, v.z);
+    let o = rot_xy(rel);
+    let d = rot_xy(ray.dir);
+    let half = b.extents * 0.5;
+
+    let mut t_near = f64::NEG_INFINITY;
+    let mut t_far = f64::INFINITY;
+    for (oi, di, hi) in [(o.x, d.x, half.x), (o.y, d.y, half.y), (o.z, d.z, half.z)] {
+        if di.abs() < 1e-12 {
+            if oi.abs() > hi {
+                return None; // parallel and outside the slab
+            }
+            continue;
+        }
+        let inv = 1.0 / di;
+        let mut t0 = (-hi - oi) * inv;
+        let mut t1 = (hi - oi) * inv;
+        if t0 > t1 {
+            std::mem::swap(&mut t0, &mut t1);
+        }
+        t_near = t_near.max(t0);
+        t_far = t_far.min(t1);
+        if t_near > t_far {
+            return None;
+        }
+    }
+    if t_far < 1e-9 {
+        return None; // box behind the ray
+    }
+    Some(if t_near > 1e-9 { t_near } else { t_far })
+}
+
+/// Intersection with a vertical cylinder (`z0..z1`, circular cross-section).
+pub fn ray_cylinder(ray: &Ray, center: Vec2, radius: f64, z0: f64, z1: f64) -> Option<f64> {
+    // 2-D circle intersection in the xy plane.
+    let o = ray.origin.xy() - center;
+    let d = ray.dir.xy();
+    let a = d.norm_sq();
+    let half_b = o.dot(d);
+    let c = o.norm_sq() - radius * radius;
+    let mut candidates: [Option<f64>; 2] = [None, None];
+    if a > 1e-18 {
+        let disc = half_b * half_b - a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sq = disc.sqrt();
+        candidates[0] = Some((-half_b - sq) / a);
+        candidates[1] = Some((-half_b + sq) / a);
+    } else if c > 0.0 {
+        return None; // vertical ray outside the circle
+    } else {
+        // Vertical ray inside the circle: hits caps only; treat the nearer
+        // z-boundary crossing as the hit.
+        if ray.dir.z.abs() < 1e-12 {
+            return None;
+        }
+        let tz0 = (z0 - ray.origin.z) / ray.dir.z;
+        let tz1 = (z1 - ray.origin.z) / ray.dir.z;
+        let t = tz0.min(tz1).max(1e-9);
+        return (ray.at(t).z >= z0 - 1e-9 && ray.at(t).z <= z1 + 1e-9 && t > 1e-9).then_some(t);
+    }
+    // Nearest circle hit whose z lies in the slab.
+    let mut best: Option<f64> = None;
+    for t in candidates.into_iter().flatten() {
+        if t <= 1e-9 {
+            continue;
+        }
+        let z = ray.origin.z + ray.dir.z * t;
+        if z >= z0 - 1e-9 && z <= z1 + 1e-9 {
+            best = Some(best.map_or(t, |b: f64| b.min(t)));
+        }
+    }
+    best
+}
+
+/// Intersection with a sphere.
+pub fn ray_sphere(ray: &Ray, center: Vec3, radius: f64) -> Option<f64> {
+    let o = ray.origin - center;
+    let half_b = o.dot(ray.dir);
+    let c = o.norm_sq() - radius * radius;
+    let disc = half_b * half_b - c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let t0 = -half_b - sq;
+    if t0 > 1e-9 {
+        return Some(t0);
+    }
+    let t1 = -half_b + sq;
+    (t1 > 1e-9).then_some(t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray(ox: f64, oy: f64, oz: f64, dx: f64, dy: f64, dz: f64) -> Ray {
+        Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz))
+    }
+
+    #[test]
+    fn ground_hit_from_above() {
+        let r = ray(0.0, 0.0, 2.0, 1.0, 0.0, -1.0);
+        let t = ray_ground(&r).unwrap();
+        let p = r.at(t);
+        assert!(p.z.abs() < 1e-9);
+        assert!((p.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_miss_upward_and_parallel() {
+        assert!(ray_ground(&ray(0.0, 0.0, 2.0, 0.0, 1.0, 0.5)).is_none());
+        assert!(ray_ground(&ray(0.0, 0.0, 2.0, 1.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn box_frontal_hit() {
+        let b = Box3::new(Vec3::new(10.0, 0.0, 1.0), Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let r = ray(0.0, 0.0, 1.0, 1.0, 0.0, 0.0);
+        let t = ray_box(&r, &b).unwrap();
+        assert!((t - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_miss_above() {
+        let b = Box3::new(Vec3::new(10.0, 0.0, 1.0), Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let r = ray(0.0, 0.0, 5.0, 1.0, 0.0, 0.0);
+        assert!(ray_box(&r, &b).is_none());
+    }
+
+    #[test]
+    fn rotated_box_hit() {
+        // 45°-rotated box: the near corner points at the origin.
+        let b = Box3::new(
+            Vec3::new(10.0, 0.0, 1.0),
+            Vec3::new(2.0, 2.0, 2.0),
+            std::f64::consts::FRAC_PI_4,
+        );
+        let r = ray(0.0, 0.0, 1.0, 1.0, 0.0, 0.0);
+        let t = ray_box(&r, &b).unwrap();
+        // Corner at distance 10 − √2.
+        assert!((t - (10.0 - 2f64.sqrt())).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn ray_from_inside_box_hits_far_wall() {
+        let b = Box3::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(4.0, 4.0, 2.0), 0.0);
+        let r = ray(0.0, 0.0, 1.0, 1.0, 0.0, 0.0);
+        let t = ray_box(&r, &b).unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cylinder_side_hit() {
+        let r = ray(0.0, 0.0, 1.0, 1.0, 0.0, 0.0);
+        let t = ray_cylinder(&r, Vec2::new(5.0, 0.0), 0.5, 0.0, 3.0).unwrap();
+        assert!((t - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cylinder_respects_height_slab() {
+        let r = ray(0.0, 0.0, 5.0, 1.0, 0.0, 0.0);
+        assert!(ray_cylinder(&r, Vec2::new(5.0, 0.0), 0.5, 0.0, 3.0).is_none());
+        // Downward slanted ray clips the top region.
+        let r2 = ray(0.0, 0.0, 5.0, 1.0, 0.0, -0.45);
+        assert!(ray_cylinder(&r2, Vec2::new(5.0, 0.0), 0.5, 0.0, 3.0).is_some());
+    }
+
+    #[test]
+    fn cylinder_tangent_and_miss() {
+        let r = ray(0.0, 1.0, 1.0, 1.0, 0.0, 0.0);
+        // Radius 0.5 centred at y=0: ray at y=1 misses.
+        assert!(ray_cylinder(&r, Vec2::new(5.0, 0.0), 0.5, 0.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn sphere_hit_and_miss() {
+        let r = ray(0.0, 0.0, 5.0, 1.0, 0.0, 0.0);
+        let t = ray_sphere(&r, Vec3::new(8.0, 0.0, 5.0), 2.0).unwrap();
+        assert!((t - 6.0).abs() < 1e-9);
+        assert!(ray_sphere(&r, Vec3::new(8.0, 5.0, 5.0), 2.0).is_none());
+    }
+
+    #[test]
+    fn sphere_from_inside() {
+        let r = ray(8.0, 0.0, 5.0, 1.0, 0.0, 0.0);
+        let t = ray_sphere(&r, Vec3::new(8.0, 0.0, 5.0), 2.0).unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hits_behind_are_ignored() {
+        let b = Box3::new(Vec3::new(-10.0, 0.0, 1.0), Vec3::new(2.0, 2.0, 2.0), 0.0);
+        let r = ray(0.0, 0.0, 1.0, 1.0, 0.0, 0.0);
+        assert!(ray_box(&r, &b).is_none());
+        assert!(ray_sphere(&r, Vec3::new(-5.0, 0.0, 1.0), 1.0).is_none());
+        assert!(ray_cylinder(&r, Vec2::new(-5.0, 0.0), 1.0, 0.0, 3.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_direction_panics() {
+        let _ = Ray::new(Vec3::ZERO, Vec3::ZERO);
+    }
+}

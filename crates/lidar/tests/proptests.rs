@@ -1,0 +1,100 @@
+//! Property-based tests for the ray caster and scan invariants.
+
+use bba_geometry::{Box3, Vec2, Vec3};
+use bba_lidar::{ray_box, ray_cylinder, ray_ground, ray_sphere, LidarConfig, Ray, Scanner};
+use bba_scene::{ObjectKind, Obstacle, ObstacleId, Shape, Trajectory, World};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_dir() -> impl Strategy<Value = Vec3> {
+    (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64)
+        .prop_filter_map("nonzero", |(x, y, z)| Vec3::new(x, y, z).normalized())
+}
+
+fn any_origin() -> impl Strategy<Value = Vec3> {
+    (-30.0..30.0f64, -30.0..30.0f64, 0.5..10.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn box_hits_lie_on_the_surface(origin in any_origin(), dir in any_dir(),
+                                   cx in -20.0..20.0f64, cy in -20.0..20.0f64,
+                                   yaw in -3.0..3.0f64) {
+        let b = Box3::new(Vec3::new(cx, cy, 2.0), Vec3::new(6.0, 3.0, 4.0), yaw);
+        let ray = Ray { origin, dir };
+        if let Some(t) = ray_box(&ray, &b) {
+            prop_assert!(t > 0.0);
+            let p = ray.at(t);
+            // The hit point is on (or within ε of) the box boundary.
+            prop_assert!(b.contains(p) || {
+                // Allow boundary tolerance.
+                let eps = Vec3::new(1e-6, 1e-6, 1e-6);
+                b.contains(p + eps) || b.contains(p - eps)
+            }, "hit {p:?} not on box");
+        }
+    }
+
+    #[test]
+    fn sphere_hits_lie_on_the_surface(origin in any_origin(), dir in any_dir(),
+                                      cx in -20.0..20.0f64, cz in 1.0..10.0f64,
+                                      r in 0.5..4.0f64) {
+        let c = Vec3::new(cx, 5.0, cz);
+        let ray = Ray { origin, dir };
+        if let Some(t) = ray_sphere(&ray, c, r) {
+            let p = ray.at(t);
+            prop_assert!(((p - c).norm() - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cylinder_hits_respect_radius_and_slab(origin in any_origin(), dir in any_dir(),
+                                             cx in -20.0..20.0f64, r in 0.2..2.0f64,
+                                             z1 in 1.0..8.0f64) {
+        let c = Vec2::new(cx, -4.0);
+        let ray = Ray { origin, dir };
+        if let Some(t) = ray_cylinder(&ray, c, r, 0.0, z1) {
+            let p = ray.at(t);
+            prop_assert!(p.z >= -1e-6 && p.z <= z1 + 1e-6, "z out of slab: {}", p.z);
+            prop_assert!((p.xy().distance(c) - r).abs() < 1e-5 || p.xy().distance(c) <= r + 1e-5);
+        }
+    }
+
+    #[test]
+    fn ground_hits_have_zero_height(origin in any_origin(), dir in any_dir()) {
+        let ray = Ray { origin, dir };
+        if let Some(t) = ray_ground(&ray) {
+            prop_assert!(ray.at(t).z.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scan_respects_range_and_attribution(seed in 0u64..50) {
+        // A small random world: the scan must only attribute hits to
+        // existing obstacle ids and stay within range.
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut obstacles = Vec::new();
+        for i in 0..6u32 {
+            let x: f64 = rng.random_range(-40.0..40.0);
+            let y: f64 = rng.random_range(-40.0..40.0);
+            obstacles.push(Obstacle::new(
+                ObstacleId(i),
+                ObjectKind::Building,
+                Shape::Box(Box3::new(Vec3::new(x, y, 3.0), Vec3::new(5.0, 5.0, 6.0), 0.0)),
+            ));
+        }
+        let world = World::new(obstacles, Vec::new());
+        let scanner = Scanner::new(LidarConfig::test_coarse());
+        let traj = Trajectory::stationary(Vec2::ZERO, 0.0);
+        let scan = scanner.scan(&world, &traj, 0.0, ObstacleId(999), &mut rng);
+        for p in scan.points() {
+            prop_assert!(p.position.norm() <= scanner.config().max_range + 1.0);
+            if let Some(id) = p.target {
+                prop_assert!(id.0 < 6, "hit attributed to unknown obstacle {id}");
+            }
+        }
+    }
+}

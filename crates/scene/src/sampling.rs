@@ -1,0 +1,114 @@
+//! Small random-sampling helpers shared by the simulation crates.
+//!
+//! `rand` ships uniform sampling only; the Gaussian noise used throughout
+//! the reproduction (pose corruption, sensor noise, detector noise) is a
+//! hand-rolled Box–Muller transform to avoid pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// A Box–Muller standard-normal sampler.
+///
+/// Generates pairs of independent N(0,1) samples and caches the spare one,
+/// so consecutive draws cost one `sin`/`cos` pair every other call.
+///
+/// # Example
+///
+/// ```
+/// use bba_scene::GaussianSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut gauss = GaussianSampler::new();
+/// let samples: Vec<f64> = (0..1000).map(|_| gauss.sample(&mut rng)).collect();
+/// let mean = samples.iter().sum::<f64>() / 1000.0;
+/// assert!(mean.abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        GaussianSampler { spare: None }
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Box–Muller: u1 ∈ (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let (s, c) = theta.sin_cos();
+        self.spare = Some(r * s);
+        r * c
+    }
+
+    /// Draws a normal sample with the given standard deviation.
+    pub fn sample_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) -> f64 {
+        self.sample(rng) * sigma
+    }
+}
+
+/// Convenience free function: one N(0, σ²) draw without a cached sampler.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    GaussianSampler::new().sample_scaled(rng, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close_to_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut g = GaussianSampler::new();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn scaled_sampling_scales_spread() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut g = GaussianSampler::new();
+        let n = 10_000;
+        let sigma = 2.5;
+        let var = (0..n)
+            .map(|_| g.sample_scaled(&mut rng, sigma).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - sigma * sigma).abs() < 0.4, "variance {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = GaussianSampler::new();
+            (0..5).map(|_| g.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn tails_are_plausible() {
+        // ~0.27% of N(0,1) samples exceed |3σ|; with 50k draws expect ~135.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = GaussianSampler::new();
+        let n = 50_000;
+        let extreme = (0..n).filter(|_| g.sample(&mut rng).abs() > 3.0).count();
+        assert!(extreme > 30 && extreme < 400, "got {extreme} beyond 3σ");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for scenario generation and road geometry.
+
+use bba_geometry::Vec2;
+use bba_scene::road::RoadFrame;
+use bba_scene::{Scenario, ScenarioConfig, ScenarioPreset, Trajectory};
+use proptest::prelude::*;
+
+fn any_preset() -> impl Strategy<Value = ScenarioPreset> {
+    prop_oneof![
+        Just(ScenarioPreset::Urban),
+        Just(ScenarioPreset::Suburban),
+        Just(ScenarioPreset::Highway),
+        Just(ScenarioPreset::OpenRural),
+        Just(ScenarioPreset::ParkingLot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scenarios_generate_without_panics(preset in any_preset(), seed in 0u64..500) {
+        let s = Scenario::generate(&ScenarioConfig::preset(preset), seed);
+        // Obstacle ids unique.
+        let mut ids: Vec<u32> = s
+            .world()
+            .static_obstacles()
+            .iter()
+            .map(|o| o.id.0)
+            .chain(s.world().dynamic_vehicles().iter().map(|d| d.id.0))
+            .collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+        // All shapes above ground and finite.
+        for o in s.world().static_obstacles() {
+            prop_assert!(o.shape.top_z() > 0.0);
+            prop_assert!(o.shape.center_xy().is_finite());
+        }
+    }
+
+    #[test]
+    fn separation_sweep_controls_distance(sep in 10.0..90.0f64, seed in 0u64..50) {
+        let cfg = ScenarioConfig::preset(ScenarioPreset::Suburban).with_separation(sep);
+        let s = Scenario::generate(&cfg, seed);
+        let d = s.agent_distance(0.0);
+        prop_assert!((d - sep).abs() < 2.0, "requested {sep}, got {d}");
+    }
+
+    #[test]
+    fn relative_pose_is_exact_inverse_pair(seed in 0u64..50, t in 0.0..10.0f64) {
+        let s = Scenario::generate(&ScenarioConfig::default(), seed);
+        let rel = s.true_relative_pose(t);
+        let ego = s.ego_trajectory().pose_at(t);
+        let other = s.other_trajectory().pose_at(t);
+        let p = Vec2::new(3.0, -1.0);
+        prop_assert!((ego.apply(rel.apply(p)) - other.apply(p)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn curvature_bends_trajectories(kappa in 0.003..0.02f64, seed in 0u64..30) {
+        let cfg = ScenarioConfig::preset(ScenarioPreset::Suburban).with_curvature(kappa);
+        let s = Scenario::generate(&cfg, seed);
+        let h0 = s.ego_trajectory().pose_at(0.0).yaw();
+        let h5 = s.ego_trajectory().pose_at(5.0).yaw();
+        // Heading advances by roughly κ·v·t.
+        let expect = kappa * cfg.ego_speed * 5.0;
+        prop_assert!(((h5 - h0) - expect).abs() < 0.25 * expect + 0.02,
+            "heading delta {} vs expected {}", h5 - h0, expect);
+    }
+
+    #[test]
+    fn road_world_mapping_preserves_lateral_distance(
+        kappa in -0.02..0.02f64, s in 0.0..200.0f64, d1 in -10.0..10.0f64, d2 in -10.0..10.0f64,
+    ) {
+        prop_assume!(kappa == 0.0 || kappa.abs() >= 1e-4);
+        let road = RoadFrame::new(kappa);
+        let a = road.to_world(s, d1);
+        let b = road.to_world(s, d2);
+        prop_assert!(((a - b).norm() - (d1 - d2).abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_speed_is_constant(
+        x in -50.0..50.0f64, y in -50.0..50.0f64, yaw in -3.0..3.0f64, v in 0.5..30.0f64,
+        t in 0.0..20.0f64,
+    ) {
+        let traj = Trajectory::straight(Vec2::new(x, y), yaw, v);
+        prop_assert!((traj.speed_at(t) - v).abs() < 1e-9);
+        // Position advances linearly.
+        let p0 = traj.pose_at(t).translation();
+        let p1 = traj.pose_at(t + 1.0).translation();
+        prop_assert!((p0.distance(p1) - v).abs() < 1e-9);
+    }
+}

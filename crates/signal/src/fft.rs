@@ -1,0 +1,329 @@
+//! Iterative radix-2 fast Fourier transform, 1-D and 2-D.
+//!
+//! The Log-Gabor filtering of BB-Align's stage 1 applies 48 filters
+//! (`N_s = 4` scales × `N_o = 12` orientations) to every BV image. Doing
+//! that as spatial convolution would be `O(H²·K²)` per filter; in the
+//! frequency domain it is one forward 2-D FFT of the image, a per-filter
+//! complex multiply, and one inverse 2-D FFT per filter. This module
+//! provides exactly that machinery, hand-rolled (no external FFT crates are
+//! available offline).
+
+use crate::complex::Complex;
+use crate::grid::Grid;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned for invalid FFT input sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// The length is not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "FFT length must be a power of two, got {len}")
+            }
+        }
+    }
+}
+
+impl Error for FftError {}
+
+fn check_pow2(len: usize) -> Result<(), FftError> {
+    if len == 0 || !len.is_power_of_two() {
+        Err(FftError::NotPowerOfTwo { len })
+    } else {
+        Ok(())
+    }
+}
+
+/// In-place forward FFT of a power-of-two-length buffer.
+///
+/// Uses the unnormalised convention: `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+///
+/// # Example
+///
+/// ```
+/// use bba_signal::{fft_inplace, Complex};
+/// // The FFT of an impulse is flat.
+/// let mut x = vec![Complex::ZERO; 8];
+/// x[0] = Complex::ONE;
+/// fft_inplace(&mut x)?;
+/// assert!(x.iter().all(|z| (z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12));
+/// # Ok::<(), bba_signal::FftError>(())
+/// ```
+pub fn fft_inplace(x: &mut [Complex]) -> Result<(), FftError> {
+    check_pow2(x.len())?;
+    fft_unchecked(x, false);
+    Ok(())
+}
+
+/// In-place inverse FFT (normalised by `1/N`), so
+/// `ifft(fft(x)) == x` up to floating-point error.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
+pub fn ifft_inplace(x: &mut [Complex]) -> Result<(), FftError> {
+    check_pow2(x.len())?;
+    fft_unchecked(x, true);
+    let scale = 1.0 / x.len() as f64;
+    for z in x.iter_mut() {
+        *z = z.scale(scale);
+    }
+    Ok(())
+}
+
+/// Core iterative Cooley–Tukey butterfly; `len` must be a power of two.
+fn fft_unchecked(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut half = 1usize;
+    while half < n {
+        let step = std::f64::consts::PI / half as f64 * sign;
+        let w_step = Complex::cis(step);
+        for start in (0..n).step_by(2 * half) {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let a = x[start + k];
+                let b = x[start + k + half] * w;
+                x[start + k] = a + b;
+                x[start + k + half] = a - b;
+                w *= w_step;
+            }
+        }
+        half *= 2;
+    }
+}
+
+/// Forward 2-D FFT of a real-valued grid, returning the complex spectrum.
+///
+/// Both dimensions must be powers of two (BB-Align BV images are generated
+/// at power-of-two resolutions, e.g. 256² or 512²; use
+/// [`pad_to_pow2`] otherwise).
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if either dimension is invalid.
+pub fn fft2d(img: &Grid<f64>) -> Result<Grid<Complex>, FftError> {
+    check_pow2(img.width())?;
+    check_pow2(img.height())?;
+    let w = img.width();
+    let h = img.height();
+    let mut spec = img.map(|&x| Complex::from_real(x));
+    // Rows.
+    for v in 0..h {
+        fft_unchecked(&mut spec.as_mut_slice()[v * w..(v + 1) * w], false);
+    }
+    // Columns (gather into a scratch buffer).
+    let mut col = vec![Complex::ZERO; h];
+    for u in 0..w {
+        for v in 0..h {
+            col[v] = spec[(u, v)];
+        }
+        fft_unchecked(&mut col, false);
+        for v in 0..h {
+            spec[(u, v)] = col[v];
+        }
+    }
+    Ok(spec)
+}
+
+/// Inverse 2-D FFT, returning the complex spatial-domain result.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if either dimension is invalid.
+pub fn fft2d_inverse(spec: &Grid<Complex>) -> Result<Grid<Complex>, FftError> {
+    check_pow2(spec.width())?;
+    check_pow2(spec.height())?;
+    let w = spec.width();
+    let h = spec.height();
+    let mut out = spec.clone();
+    for v in 0..h {
+        fft_unchecked(&mut out.as_mut_slice()[v * w..(v + 1) * w], true);
+    }
+    let mut col = vec![Complex::ZERO; h];
+    for u in 0..w {
+        for v in 0..h {
+            col[v] = out[(u, v)];
+        }
+        fft_unchecked(&mut col, true);
+        for v in 0..h {
+            out[(u, v)] = col[v];
+        }
+    }
+    let scale = 1.0 / (w * h) as f64;
+    for z in out.as_mut_slice() {
+        *z = z.scale(scale);
+    }
+    Ok(out)
+}
+
+/// Zero-pads a grid up to the next power-of-two dimensions.
+///
+/// Returns the original grid unchanged when it is already power-of-two
+/// sized.
+pub fn pad_to_pow2(img: &Grid<f64>) -> Grid<f64> {
+    let w = img.width().next_power_of_two();
+    let h = img.height().next_power_of_two();
+    if w == img.width() && h == img.height() {
+        return img.clone();
+    }
+    let mut out = Grid::new(w, h, 0.0);
+    for (u, v, &x) in img.iter_cells() {
+        out[(u, v)] = x;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!((a - b).abs() < tol, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let mut x = vec![Complex::ZERO; 6];
+        assert_eq!(fft_inplace(&mut x).unwrap_err(), FftError::NotPowerOfTwo { len: 6 });
+        assert!(!FftError::NotPowerOfTwo { len: 6 }.to_string().is_empty());
+    }
+
+    #[test]
+    fn dc_signal_concentrates_at_zero() {
+        let mut x = vec![Complex::ONE; 8];
+        fft_inplace(&mut x).unwrap();
+        assert_close(x[0], Complex::from_real(8.0), 1e-12);
+        for &z in &x[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 32;
+        let k0 = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|n_i| Complex::cis(2.0 * std::f64::consts::PI * k0 as f64 * n_i as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut x).unwrap();
+        for (k, &z) in x.iter().enumerate() {
+            if k == k0 {
+                assert_close(z, Complex::from_real(n as f64), 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leak at bin {k}: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut y = x.clone();
+        fft_inplace(&mut y).unwrap();
+        ifft_inplace(&mut y).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..16).map(|i| Complex::from_real(i as f64)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::from_real((i * i % 7) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft_inplace(&mut fa).unwrap();
+        fft_inplace(&mut fb).unwrap();
+        fft_inplace(&mut fs).unwrap();
+        for i in 0..16 {
+            assert_close(fs[i], fa[i] + fb[i], 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sq()).sum();
+        let mut f = x.clone();
+        fft_inplace(&mut f).unwrap();
+        let freq_energy: f64 = f.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let img = Grid::from_fn(16, 8, |u, v| ((u * 3 + v * 7) % 11) as f64);
+        let spec = fft2d(&img).unwrap();
+        let back = fft2d_inverse(&spec).unwrap();
+        for (u, v, &x) in img.iter_cells() {
+            let z = back[(u, v)];
+            assert!((z.re - x).abs() < 1e-9 && z.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_2d_is_image_sum() {
+        let img = Grid::from_fn(8, 8, |u, v| (u + v) as f64);
+        let spec = fft2d(&img).unwrap();
+        let total: f64 = img.as_slice().iter().sum();
+        assert_close(spec[(0, 0)], Complex::from_real(total), 1e-9);
+    }
+
+    #[test]
+    fn real_input_has_hermitian_spectrum() {
+        let img = Grid::from_fn(8, 8, |u, v| ((u * 5 + v * 3) % 4) as f64);
+        let spec = fft2d(&img).unwrap();
+        for v in 0..8 {
+            for u in 0..8 {
+                let conj_u = (8 - u) % 8;
+                let conj_v = (8 - v) % 8;
+                assert_close(spec[(u, v)], spec[(conj_u, conj_v)].conj(), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pad_to_pow2_extends_with_zeros() {
+        let img = Grid::from_fn(5, 3, |u, v| (u + v) as f64 + 1.0);
+        let padded = pad_to_pow2(&img);
+        assert_eq!(padded.width(), 8);
+        assert_eq!(padded.height(), 4);
+        assert_eq!(padded[(2, 1)], img[(2, 1)]);
+        assert_eq!(padded[(7, 3)], 0.0);
+        // Already a power of two: unchanged.
+        let sq = Grid::new(4, 4, 1.0);
+        assert_eq!(pad_to_pow2(&sq), sq);
+    }
+}

@@ -1,0 +1,359 @@
+//! The 2-D Log-Gabor filter bank of the paper's Eq. (6)–(7).
+//!
+//! A Log-Gabor filter is defined in the *frequency* domain on polar
+//! coordinates `(ρ, θ)` (the paper's Eq. (5) conversion): a log-Gaussian
+//! radial profile selecting a scale, multiplied by a Gaussian angular
+//! profile selecting an orientation:
+//!
+//! ```text
+//! L(ρ, θ; s, o) = exp(−(log(ρ/ρ_s))² / (2·σ_ρ²)) · exp(−(θ − θ_o)² / (2·σ_θ²))
+//! ```
+//!
+//! Scales follow the geometric progression of Kovesi's reference
+//! implementation (paper footnote 2 / reference [32]): the centre wavelength
+//! of scale `s` is `min_wavelength · mult^(s−1)` pixels, i.e. centre
+//! frequency `ρ_s = 1 / wavelength_s` cycles/pixel. The radial bandwidth is
+//! expressed through `sigma_on_f` (σ/f ratio, ~0.55 ≈ two octaves) and the
+//! angular bandwidth through `d_theta_on_sigma`.
+//!
+//! Applying the bank (Eq. (8)) is a frequency-domain product followed by an
+//! inverse FFT; the complex magnitude of the result is the amplitude
+//! `A(ρ, θ, s, o)` used in Eq. (9)–(10).
+
+use crate::complex::Complex;
+use crate::fft::{fft2d, fft2d_inverse, FftError};
+use crate::grid::Grid;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Configuration of the Log-Gabor filter bank.
+///
+/// Defaults mirror the paper's evaluation setup (`N_s = 4`, `N_o = 12`) with
+/// Kovesi-style bandwidth constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogGaborConfig {
+    /// Number of scales `N_s`.
+    pub num_scales: usize,
+    /// Number of orientations `N_o`.
+    pub num_orientations: usize,
+    /// Wavelength (pixels) of the smallest-scale filter.
+    pub min_wavelength: f64,
+    /// Scale multiplier between successive filters.
+    pub mult: f64,
+    /// Ratio σ_ρ/ρ_0 of the radial log-Gaussian (≈0.55 → ~2 octaves).
+    pub sigma_on_f: f64,
+    /// Ratio of angular interval to angular σ (≈1.2).
+    pub d_theta_on_sigma: f64,
+}
+
+impl Default for LogGaborConfig {
+    fn default() -> Self {
+        LogGaborConfig {
+            num_scales: 4,
+            num_orientations: 12,
+            min_wavelength: 3.0,
+            mult: 2.1,
+            sigma_on_f: 0.55,
+            d_theta_on_sigma: 1.2,
+        }
+    }
+}
+
+impl LogGaborConfig {
+    /// Orientation angle `θ_o = (o−1)·π/N_o` of orientation index `o`
+    /// (0-based here), per the paper's definition of the array `O`.
+    pub fn orientation_angle(&self, o: usize) -> f64 {
+        o as f64 * PI / self.num_orientations as f64
+    }
+
+    /// Centre frequency (cycles/pixel) of scale index `s` (0-based).
+    pub fn center_frequency(&self, s: usize) -> f64 {
+        1.0 / (self.min_wavelength * self.mult.powi(s as i32))
+    }
+
+    /// Validates the configuration, panicking with a descriptive message on
+    /// nonsensical values. Called by [`LogGaborBank::new`].
+    fn validate(&self) {
+        assert!(self.num_scales >= 1, "need at least one scale");
+        assert!(self.num_orientations >= 2, "need at least two orientations");
+        assert!(self.min_wavelength >= 2.0, "min wavelength below Nyquist (2 px)");
+        assert!(self.mult > 1.0, "scale multiplier must exceed 1");
+        assert!(
+            self.sigma_on_f > 0.0 && self.sigma_on_f < 1.0,
+            "sigma_on_f must be in (0, 1)"
+        );
+        assert!(self.d_theta_on_sigma > 0.0, "d_theta_on_sigma must be positive");
+    }
+}
+
+/// A pre-computed Log-Gabor filter bank for one image size.
+///
+/// Construction is `O(N_s · N_o · H · W)`; the bank can be reused across
+/// every image of the same size (the ego car filters two BV images per
+/// recovery, so reuse matters).
+///
+/// # Example
+///
+/// ```
+/// use bba_signal::{Grid, LogGaborBank, LogGaborConfig};
+/// let bank = LogGaborBank::new(64, 64, LogGaborConfig::default());
+/// let img = Grid::new(64, 64, 0.0);
+/// let amplitudes = bank.orientation_amplitudes(&img)?;
+/// assert_eq!(amplitudes.len(), 12);
+/// # Ok::<(), bba_signal::FftError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogGaborBank {
+    config: LogGaborConfig,
+    width: usize,
+    height: usize,
+    /// `filters[o][s]` — frequency-domain transfer function (real-valued).
+    filters: Vec<Vec<Grid<f64>>>,
+}
+
+impl LogGaborBank {
+    /// Builds the bank for `width × height` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`LogGaborConfig`]) or if
+    /// either dimension is zero.
+    pub fn new(width: usize, height: usize, config: LogGaborConfig) -> Self {
+        config.validate();
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        let theta_sigma = PI / config.num_orientations as f64 / config.d_theta_on_sigma;
+        let log_sigma = config.sigma_on_f.ln().abs();
+
+        // Frequency coordinates: FFT bin k maps to frequency k/N for
+        // k < N/2, (k-N)/N above.
+        let freq_axis = |n: usize, k: usize| -> f64 {
+            let k = k as isize;
+            let n = n as isize;
+            let signed = if k <= n / 2 { k } else { k - n };
+            signed as f64 / n as f64
+        };
+
+        let mut filters = Vec::with_capacity(config.num_orientations);
+        for o in 0..config.num_orientations {
+            let theta0 = config.orientation_angle(o);
+            let (sin0, cos0) = theta0.sin_cos();
+            let mut per_scale = Vec::with_capacity(config.num_scales);
+            for s in 0..config.num_scales {
+                let f0 = config.center_frequency(s);
+                let mut filt = Grid::new(width, height, 0.0);
+                for v in 0..height {
+                    let fy = freq_axis(height, v);
+                    for u in 0..width {
+                        let fx = freq_axis(width, u);
+                        let radius = (fx * fx + fy * fy).sqrt();
+                        if radius < 1e-12 {
+                            continue; // zero DC response
+                        }
+                        // Radial log-Gaussian.
+                        let lr = (radius / f0).ln();
+                        let radial = (-lr * lr / (2.0 * log_sigma * log_sigma)).exp();
+                        // Angular Gaussian on the folded orientation
+                        // difference (filters are π-periodic for real
+                        // images; cover both half-planes).
+                        let theta = fy.atan2(fx);
+                        let ds = theta.sin() * cos0 - theta.cos() * sin0;
+                        let dc = theta.cos() * cos0 + theta.sin() * sin0;
+                        let dtheta = ds.atan2(dc).abs();
+                        let dtheta = dtheta.min(PI - dtheta); // fold to [0, π/2]
+                        let angular = (-dtheta * dtheta / (2.0 * theta_sigma * theta_sigma)).exp();
+                        filt[(u, v)] = radial * angular;
+                    }
+                }
+                per_scale.push(filt);
+            }
+            filters.push(per_scale);
+        }
+        LogGaborBank { config, width, height, filters }
+    }
+
+    /// The configuration used to build the bank.
+    pub fn config(&self) -> &LogGaborConfig {
+        &self.config
+    }
+
+    /// Image width the bank was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height the bank was built for.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The frequency-domain transfer function of filter `(s, o)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `o` is out of range.
+    pub fn filter(&self, s: usize, o: usize) -> &Grid<f64> {
+        &self.filters[o][s]
+    }
+
+    /// Amplitude response per orientation, summed over scales — the paper's
+    /// Eq. (8)–(9): `A(ρ,θ,o) = Σ_s ‖B * L(·,·,s,o)‖`.
+    ///
+    /// Returns `N_o` grids of per-pixel amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the image dimensions are not powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape differs from the bank's.
+    pub fn orientation_amplitudes(&self, img: &Grid<f64>) -> Result<Vec<Grid<f64>>, FftError> {
+        assert_eq!(
+            (img.width(), img.height()),
+            (self.width, self.height),
+            "image shape does not match filter bank"
+        );
+        let spectrum = fft2d(img)?;
+        let mut out = Vec::with_capacity(self.config.num_orientations);
+        let mut filtered = Grid::new(self.width, self.height, Complex::ZERO);
+        for per_scale in &self.filters {
+            let mut acc = Grid::new(self.width, self.height, 0.0);
+            for filt in per_scale {
+                // Frequency-domain product.
+                for (i, z) in filtered.as_mut_slice().iter_mut().enumerate() {
+                    *z = spectrum.as_slice()[i].scale(filt.as_slice()[i]);
+                }
+                let spatial = fft2d_inverse(&filtered)?;
+                for (i, a) in acc.as_mut_slice().iter_mut().enumerate() {
+                    *a += spatial.as_slice()[i].abs();
+                }
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = LogGaborConfig::default();
+        assert_eq!(c.num_scales, 4);
+        assert_eq!(c.num_orientations, 12);
+    }
+
+    #[test]
+    fn orientation_angles_span_half_circle() {
+        let c = LogGaborConfig::default();
+        assert_eq!(c.orientation_angle(0), 0.0);
+        let last = c.orientation_angle(c.num_orientations - 1);
+        assert!(last < PI);
+        assert!((c.orientation_angle(6) - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_frequencies_decrease_geometrically() {
+        let c = LogGaborConfig::default();
+        let f0 = c.center_frequency(0);
+        let f1 = c.center_frequency(1);
+        assert!((f0 / f1 - c.mult).abs() < 1e-12);
+        assert!(f0 <= 0.5, "centre frequency above Nyquist");
+    }
+
+    #[test]
+    fn filters_have_zero_dc() {
+        let bank = LogGaborBank::new(32, 32, LogGaborConfig::default());
+        for o in 0..12 {
+            for s in 0..4 {
+                assert_eq!(bank.filter(s, o)[(0, 0)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn filters_are_bounded_unit() {
+        let bank = LogGaborBank::new(32, 32, LogGaborConfig::default());
+        for o in 0..12 {
+            for s in 0..4 {
+                for &x in bank.filter(s, o).as_slice() {
+                    assert!((0.0..=1.0 + 1e-12).contains(&x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_image_gives_zero_amplitude() {
+        let bank = LogGaborBank::new(16, 16, LogGaborConfig::default());
+        let img = Grid::new(16, 16, 0.0);
+        let amps = bank.orientation_amplitudes(&img).unwrap();
+        assert_eq!(amps.len(), 12);
+        for a in amps {
+            assert!(a.max_value() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oriented_edge_excites_matching_orientation() {
+        // A strong vertical line (edge along the y / v direction).
+        let mut img = Grid::new(64, 64, 0.0);
+        for v in 0..64 {
+            img[(32, v)] = 10.0;
+        }
+        let cfg = LogGaborConfig::default();
+        let bank = LogGaborBank::new(64, 64, cfg.clone());
+        let amps = bank.orientation_amplitudes(&img).unwrap();
+        // Response at the line centre, per orientation.
+        let responses: Vec<f64> = amps.iter().map(|a| a[(32, 32)]).collect();
+        let best = responses
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // A line along v varies along u (the x direction): its frequency
+        // content lies on the horizontal frequency axis, i.e. θ≈0.
+        let angle = cfg.orientation_angle(best);
+        let folded = angle.min(PI - angle);
+        assert!(
+            folded < PI / 6.0,
+            "expected near-0 orientation, got {}° (responses {responses:?})",
+            angle.to_degrees()
+        );
+    }
+
+    #[test]
+    fn amplitude_scales_linearly_with_contrast() {
+        let mut img = Grid::new(32, 32, 0.0);
+        for v in 8..24 {
+            img[(16, v)] = 2.0;
+        }
+        let img2 = img.map(|&x| x * 3.0);
+        let bank = LogGaborBank::new(32, 32, LogGaborConfig::default());
+        let a1 = bank.orientation_amplitudes(&img).unwrap();
+        let a2 = bank.orientation_amplitudes(&img2).unwrap();
+        for (g1, g2) in a1.iter().zip(&a2) {
+            for (x, y) in g1.as_slice().iter().zip(g2.as_slice()) {
+                assert!((y - 3.0 * x).abs() < 1e-9 * (1.0 + x.abs()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match filter bank")]
+    fn shape_mismatch_panics() {
+        let bank = LogGaborBank::new(16, 16, LogGaborConfig::default());
+        let img = Grid::new(32, 32, 0.0);
+        let _ = bank.orientation_amplitudes(&img);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two orientations")]
+    fn invalid_config_panics() {
+        let cfg = LogGaborConfig { num_orientations: 1, ..Default::default() };
+        let _ = LogGaborBank::new(16, 16, cfg);
+    }
+}

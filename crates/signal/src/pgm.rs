@@ -1,0 +1,104 @@
+//! Minimal PGM (portable graymap) export for [`Grid`]s.
+//!
+//! BV images, MIM amplitude maps and fusion grids are all `Grid<f64>`;
+//! dumping them as binary PGM (readable by any image viewer, no external
+//! crates) is the repository's visual-debugging channel — the equivalent
+//! of the paper's Fig. 4 panels.
+
+use crate::grid::Grid;
+use std::io::Write;
+use std::path::Path;
+
+/// Encodes a grid as a binary (P5) PGM image, normalising values to 0–255.
+///
+/// An all-equal grid encodes as all-zero. Non-finite values clamp to the
+/// observed finite range.
+///
+/// # Example
+///
+/// ```
+/// use bba_signal::{encode_pgm, Grid};
+/// let mut g = Grid::new(4, 2, 0.0);
+/// g[(3, 1)] = 2.0;
+/// let pgm = encode_pgm(&g);
+/// assert!(pgm.starts_with(b"P5\n4 2\n255\n"));
+/// assert_eq!(pgm.len(), 11 + 8); // header + one byte per pixel
+/// ```
+pub fn encode_pgm(grid: &Grid<f64>) -> Vec<u8> {
+    let (lo, hi) = grid
+        .as_slice()
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = if hi > lo { hi - lo } else { 1.0 };
+
+    let mut out = Vec::with_capacity(32 + grid.len());
+    out.extend_from_slice(format!("P5\n{} {}\n255\n", grid.width(), grid.height()).as_bytes());
+    for &v in grid.as_slice() {
+        let v = if v.is_finite() { v } else { lo };
+        let byte = (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8;
+        out.push(byte);
+    }
+    out
+}
+
+/// Writes a grid to `path` as binary PGM (see [`encode_pgm`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_pgm(grid: &Grid<f64>, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&encode_pgm(grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_payload_sizes() {
+        let g = Grid::from_fn(16, 9, |u, v| (u * v) as f64);
+        let pgm = encode_pgm(&g);
+        let header = b"P5\n16 9\n255\n";
+        assert!(pgm.starts_with(header));
+        assert_eq!(pgm.len(), header.len() + 16 * 9);
+    }
+
+    #[test]
+    fn normalisation_spans_full_range() {
+        let g = Grid::from_vec(2, 1, vec![-5.0, 15.0]);
+        let pgm = encode_pgm(&g);
+        let pixels = &pgm[pgm.len() - 2..];
+        assert_eq!(pixels, &[0u8, 255]);
+    }
+
+    #[test]
+    fn constant_grid_is_black() {
+        let g = Grid::new(3, 3, 7.5);
+        let pgm = encode_pgm(&g);
+        assert!(pgm[pgm.len() - 9..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn non_finite_values_clamp() {
+        let g = Grid::from_vec(3, 1, vec![0.0, f64::NAN, 1.0]);
+        let pgm = encode_pgm(&g);
+        let pixels = &pgm[pgm.len() - 3..];
+        assert_eq!(pixels[0], 0);
+        assert_eq!(pixels[1], 0); // NaN clamps to the low end
+        assert_eq!(pixels[2], 255);
+    }
+
+    #[test]
+    fn write_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir().join("bba_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.pgm");
+        let g = Grid::from_fn(8, 8, |u, v| (u + v) as f64);
+        write_pgm(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, encode_pgm(&g));
+        std::fs::remove_file(path).ok();
+    }
+}

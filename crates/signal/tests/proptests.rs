@@ -1,0 +1,73 @@
+//! Property-based tests for FFT and MIM invariants.
+
+use bba_signal::{fft2d, fft2d_inverse, fft_inplace, ifft_inplace, Complex, Grid};
+use proptest::prelude::*;
+
+fn complex_buf(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(re, im)| Complex::new(re, im)),
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_identity(x in complex_buf(64)) {
+        let mut y = x.clone();
+        fft_inplace(&mut y).unwrap();
+        ifft_inplace(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(a in complex_buf(32), b in complex_buf(32), s in -5.0..5.0f64) {
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fc: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(s)).collect();
+        fft_inplace(&mut fa).unwrap();
+        fft_inplace(&mut fb).unwrap();
+        fft_inplace(&mut fc).unwrap();
+        for i in 0..32 {
+            let expect = fa[i] + fb[i].scale(s);
+            prop_assert!((fc[i] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in complex_buf(128)) {
+        let time: f64 = x.iter().map(|z| z.norm_sq()).sum();
+        let mut f = x;
+        fft_inplace(&mut f).unwrap();
+        let freq: f64 = f.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn fft2d_roundtrip(vals in proptest::collection::vec(-50.0..50.0f64, 16 * 16)) {
+        let img = Grid::from_vec(16, 16, vals);
+        let back = fft2d_inverse(&fft2d(&img).unwrap()).unwrap();
+        for (u, v, &x) in img.iter_cells() {
+            let z = back[(u, v)];
+            prop_assert!((z.re - x).abs() < 1e-8);
+            prop_assert!(z.im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft2d_shift_preserves_magnitude(vals in proptest::collection::vec(0.0..10.0f64, 16 * 16), du in 0usize..16, dv in 0usize..16) {
+        // A circular shift changes only the phase of the spectrum.
+        let img = Grid::from_vec(16, 16, vals);
+        let shifted = Grid::from_fn(16, 16, |u, v| img[((u + du) % 16, (v + dv) % 16)]);
+        let s1 = fft2d(&img).unwrap();
+        let s2 = fft2d(&shifted).unwrap();
+        for i in 0..s1.len() {
+            let m1 = s1.as_slice()[i].abs();
+            let m2 = s2.as_slice()[i].abs();
+            prop_assert!((m1 - m2).abs() < 1e-6 * (1.0 + m1));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Cooperative object detection under pose error — the Table I scenario as
+//! a runnable demo.
+//!
+//! ```bash
+//! cargo run --release --example cooperative_detection
+//! ```
+//!
+//! Two cars fuse perception over several frames. The demo evaluates
+//! detection AP three times per fusion method: with the ground-truth pose,
+//! with a corrupted GPS pose (σ_t = 2 m, σ_θ = 2°), and with the pose
+//! recovered by BB-Align.
+
+use bb_align::{BbAlign, BbAlignConfig};
+use bba_dataset::{Dataset, DatasetConfig, PoseNoise};
+use bba_detect::{average_precision, Detection, GroundTruthBox};
+use bba_fusion::{FusionExperiment, FusionMethod};
+use bba_geometry::Iso2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    const FRAMES: usize = 6;
+    let aligner = BbAlign::new(BbAlignConfig::default());
+    let noise = PoseNoise::table1();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Prepare the frame pool with all three pose variants.
+    println!("simulating {FRAMES} frame pairs and recovering poses...");
+    let mut pool = Vec::new();
+    let mut dataset = Dataset::new(DatasetConfig::standard(), 2025);
+    for _ in 0..FRAMES {
+        let pair = dataset.next_pair().unwrap();
+        let corrupted = noise.corrupt(&pair.true_relative, &mut rng);
+        let ego = aligner.frame_from_parts(
+            pair.ego.scan.points().iter().map(|p| p.position),
+            pair.ego.detections.iter().map(|d| (d.box3, d.confidence)),
+        );
+        let other = aligner.frame_from_parts(
+            pair.other.scan.points().iter().map(|p| p.position),
+            pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
+        );
+        let recovered = aligner
+            .recover(&ego, &other, &mut rng)
+            .map(|r| r.transform)
+            .unwrap_or(corrupted);
+        pool.push((pair, corrupted, recovered));
+    }
+
+    println!("\n{:<14} {:>12} {:>12} {:>12}", "method", "true pose", "corrupted", "recovered");
+    for method in FusionMethod::ALL {
+        let exp = FusionExperiment::new(method);
+        let mut aps = Vec::new();
+        for variant in 0..3usize {
+            let mut eval_rng = StdRng::seed_from_u64(99);
+            let frames: Vec<(Vec<Detection>, Vec<GroundTruthBox>)> = pool
+                .iter()
+                .map(|(pair, corrupted, recovered)| {
+                    let pose: &Iso2 = match variant {
+                        0 => &pair.true_relative,
+                        1 => corrupted,
+                        _ => recovered,
+                    };
+                    exp.run_frame(pair, pose, &mut eval_rng)
+                })
+                .collect();
+            aps.push(average_precision(&frames, 0.5).ap * 100.0);
+        }
+        println!(
+            "{:<14} {:>11.1}  {:>11.1}  {:>11.1}",
+            method.name(),
+            aps[0],
+            aps[1],
+            aps[2]
+        );
+    }
+    println!("\n(AP@IoU=0.5, higher is better — recovery should sit close to the true-pose column)");
+}

@@ -1,0 +1,87 @@
+//! Heterogeneous sensor pairing: BB-Align vs raw-point registration when
+//! the two cars carry *different* LiDARs.
+//!
+//! ```bash
+//! cargo run --release --example heterogeneous_sensors
+//! ```
+//!
+//! The paper argues (§II) that point-set registration (ICP) "typically
+//! requires similar sensor configurations" while image-level matching does
+//! not. This demo pairs a 64-channel sensor with a 16-channel one and runs
+//! both approaches on the same frames — BB-Align from scratch, ICP from an
+//! already good initial guess (its favourable setup), and ICP from the
+//! corrupted GPS pose (its realistic setup).
+
+use bb_align::{BbAlign, BbAlignConfig};
+use bba_baselines::icp::{icp_2d, IcpConfig};
+use bba_dataset::{Dataset, DatasetConfig, PoseNoise};
+use bba_geometry::{Iso2, Vec2};
+use bba_lidar::LidarConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    const FRAMES: usize = 4;
+    let mut cfg = DatasetConfig::standard();
+    cfg.ego_lidar = LidarConfig::high_res_64();
+    cfg.other_lidar = LidarConfig::low_res_16();
+    println!(
+        "ego: {} channels / {:.0} m range; other: {} channels / {:.0} m range\n",
+        cfg.ego_lidar.channels, cfg.ego_lidar.max_range, cfg.other_lidar.channels,
+        cfg.other_lidar.max_range
+    );
+
+    let aligner = BbAlign::new(BbAlignConfig::default());
+    let noise = PoseNoise::table1();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut dataset = Dataset::new(cfg, 77);
+
+    println!(
+        "{:<8} {:>16} {:>16} {:>18}",
+        "frame", "BB-Align (m/°)", "ICP warm (m/°)", "ICP from GPS (m/°)"
+    );
+    for k in 0..FRAMES {
+        let pair = dataset.next_pair().unwrap();
+        // BB-Align: no prior pose at all.
+        let ego = aligner.frame_from_parts(
+            pair.ego.scan.points().iter().map(|p| p.position),
+            pair.ego.detections.iter().map(|d| (d.box3, d.confidence)),
+        );
+        let other = aligner.frame_from_parts(
+            pair.other.scan.points().iter().map(|p| p.position),
+            pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
+        );
+        let bb = aligner
+            .recover(&ego, &other, &mut rng)
+            .map(|r| r.transform.error_to(&pair.true_relative))
+            .ok();
+
+        // ICP on downsampled ground-plane points.
+        let down = |scan: &bba_lidar::Scan| -> Vec<Vec2> {
+            scan.points().iter().step_by(10).map(|p| p.position.xy()).collect()
+        };
+        let src = down(&pair.other.scan);
+        let dst = down(&pair.ego.scan);
+        let icp_err = |init: Iso2| {
+            icp_2d(&src, &dst, init, &IcpConfig::default())
+                .map(|r| r.transform.error_to(&pair.true_relative))
+        };
+        // Warm start: truth + 0.5 m — ICP's best case.
+        let warm = icp_err(Iso2::new(
+            pair.true_relative.yaw(),
+            pair.true_relative.translation() + Vec2::new(0.5, 0.2),
+        ));
+        // Realistic start: the corrupted GPS pose.
+        let cold = icp_err(noise.corrupt(&pair.true_relative, &mut rng));
+
+        let fmt = |e: Option<(f64, f64)>| match e {
+            Some((dt, dr)) => format!("{dt:.2}/{:.2}", dr.to_degrees()),
+            None => "failed".to_string(),
+        };
+        println!("{k:<8} {:>16} {:>16} {:>18}", fmt(bb), fmt(warm), fmt(cold));
+    }
+    println!(
+        "\nBB-Align needs no initial guess and tolerates the sensor mismatch; ICP only\n\
+         competes when it is handed a nearly correct pose to start from."
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: recover the relative pose between two simulated vehicles.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example builds one synthetic V2V frame pair (two cars driving a
+//! suburban road, each with its own LiDAR and detector), exchanges the
+//! BB-Align payload (BV image + boxes) and recovers the relative pose —
+//! then compares it with ground truth and with what a corrupted GPS would
+//! have reported.
+
+use bb_align::{BbAlign, BbAlignConfig};
+use bba_dataset::{Dataset, DatasetConfig, PoseNoise};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Simulate one synchronized frame pair.
+    let mut dataset = Dataset::new(DatasetConfig::standard(), 42);
+    let pair = dataset.next_pair().expect("dataset streams frames");
+    println!(
+        "simulated frame pair: {} m apart, {} commonly observed cars",
+        pair.distance.round(),
+        pair.common_vehicles.len()
+    );
+    println!(
+        "ego scan: {} points; other scan: {} points",
+        pair.ego.scan.len(),
+        pair.other.scan.len()
+    );
+
+    // 2. Each car assembles its transmissible perception frame.
+    let aligner = BbAlign::new(BbAlignConfig::default());
+    let ego = aligner.frame_from_parts(
+        pair.ego.scan.points().iter().map(|p| p.position),
+        pair.ego.detections.iter().map(|d| (d.box3, d.confidence)),
+    );
+    let other = aligner.frame_from_parts(
+        pair.other.scan.points().iter().map(|p| p.position),
+        pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
+    );
+    println!(
+        "payload transmitted by the other car: {:.1} KiB (raw cloud would be {:.1} KiB)",
+        other.wire_size_bytes() as f64 / 1024.0,
+        (pair.other.scan.wire_size_bytes()) as f64 / 1024.0,
+    );
+
+    // 3. Recover the relative pose — no prior pose information used.
+    let mut rng = StdRng::seed_from_u64(7);
+    match aligner.recover(&ego, &other, &mut rng) {
+        Ok(recovery) => {
+            let (dt, dr) = recovery.transform.error_to(&pair.true_relative);
+            println!("\nground truth : {}", pair.true_relative);
+            println!("recovered    : {}", recovery.transform);
+            println!(
+                "error        : {:.2} m translation, {:.2}° rotation",
+                dt,
+                dr.to_degrees()
+            );
+            println!(
+                "diagnostics  : Inliers_bv = {}, Inliers_box = {}, success = {}",
+                recovery.inliers_bv(),
+                recovery.inliers_box(),
+                recovery.is_success()
+            );
+
+            // 4. For contrast: what a corrupted GPS pose looks like.
+            let corrupted = PoseNoise::table1().corrupt(&pair.true_relative, &mut rng);
+            let (gdt, gdr) = corrupted.error_to(&pair.true_relative);
+            println!(
+                "\nGPS with σ_t = 2 m, σ_θ = 2° noise would be off by {:.2} m / {:.2}° —\n\
+                 BB-Align replaces it using only the shared BV image and boxes.",
+                gdt,
+                gdr.to_degrees()
+            );
+        }
+        Err(e) => println!("recovery failed: {e}"),
+    }
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate re-exporting the BB-Align workspace members for examples and integration tests.

@@ -1,0 +1,145 @@
+//! Failure-injection tests: the system must degrade loudly and safely, not
+//! silently, when sensors or scenes break.
+
+use bb_align::{BbAlign, BbAlignConfig, RecoverError};
+use bba_dataset::{Dataset, DatasetConfig};
+use bba_detect::{Detector, DetectorModel};
+use bba_geometry::Vec2;
+use bba_lidar::{LidarConfig, Scanner};
+use bba_scene::{Scenario, ScenarioConfig, ScenarioPreset, Trajectory, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine() -> BbAlign {
+    BbAlign::new(BbAlignConfig::default())
+}
+
+#[test]
+fn total_sensor_outage_reports_no_keypoints() {
+    // A sensor with 100 % dropout returns an empty scan; recovery must
+    // fail with a diagnosable error, not panic or hallucinate a pose.
+    let mut cfg = LidarConfig::test_coarse();
+    cfg.dropout_prob = 1.0;
+    let scenario = Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Urban), 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let scan = Scanner::new(cfg).scan(
+        scenario.world(),
+        scenario.ego_trajectory(),
+        0.0,
+        scenario.ego_id(),
+        &mut rng,
+    );
+    assert!(scan.is_empty());
+
+    let aligner = engine();
+    let dead = aligner.frame_from_parts(
+        scan.points().iter().map(|p| p.position),
+        std::iter::empty(),
+    );
+    let err = aligner.recover(&dead, &dead, &mut rng).unwrap_err();
+    assert!(matches!(err, RecoverError::NoKeypoints { .. }), "got {err}");
+}
+
+#[test]
+fn empty_world_scan_produces_only_ground() {
+    // Nothing but ground plane: detector returns at most false positives,
+    // and the BV height map is empty (ground rasterises to zero).
+    let world = World::default();
+    let traj = Trajectory::straight(Vec2::ZERO, 0.0, 10.0);
+    let scanner = Scanner::new(LidarConfig::test_coarse());
+    let mut rng = StdRng::seed_from_u64(2);
+    let scan = scanner.scan(&world, &traj, 0.0, bba_scene::ObstacleId(0), &mut rng);
+    assert!(scan.points().iter().all(|p| p.target.is_none()));
+
+    let aligner = engine();
+    let frame = aligner.frame_from_parts(
+        scan.points().iter().map(|p| p.position),
+        std::iter::empty(),
+    );
+    assert_eq!(frame.bev().occupancy(), 0.0, "ground must not rasterise");
+}
+
+#[test]
+fn extreme_range_noise_degrades_but_does_not_crash() {
+    let mut lidar = LidarConfig::test_coarse();
+    lidar.range_noise_sigma = 2.0; // 2 m range noise: hopeless data
+    let mut dcfg = DatasetConfig::test_small();
+    dcfg.ego_lidar = lidar.clone();
+    dcfg.other_lidar = lidar;
+    let mut ds = Dataset::new(dcfg, 3);
+    let pair = ds.next_pair().unwrap();
+    let aligner = engine();
+    let ego = aligner.frame_from_parts(
+        pair.ego.scan.points().iter().map(|p| p.position),
+        pair.ego.detections.iter().map(|d| (d.box3, d.confidence)),
+    );
+    let other = aligner.frame_from_parts(
+        pair.other.scan.points().iter().map(|p| p.position),
+        pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    // Whatever happens, a *confident* answer must not be grossly wrong.
+    if let Ok(r) = aligner.recover(&ego, &other, &mut rng) {
+        let (dt, _) = r.transform.error_to(&pair.true_relative);
+        assert!(
+            !r.is_success() || dt < 10.0,
+            "confident recovery with {dt:.1} m error under 2 m range noise"
+        );
+    }
+}
+
+#[test]
+fn detector_on_empty_scan_yields_only_false_positives() {
+    let world = World::default();
+    let traj = Trajectory::stationary(Vec2::ZERO, 0.0);
+    let scanner = Scanner::new(LidarConfig::test_coarse());
+    let mut rng = StdRng::seed_from_u64(4);
+    let scan = scanner.scan(&world, &traj, 0.0, bba_scene::ObstacleId(0), &mut rng);
+    let dets = Detector::new(DetectorModel::CoBevt).detect(
+        &scan,
+        &world,
+        &traj,
+        bba_scene::ObstacleId(0),
+        &mut rng,
+    );
+    assert!(dets.iter().all(|d| d.truth.is_none()), "phantom true positives");
+}
+
+#[test]
+fn stage2_with_zero_boxes_falls_back_to_stage1() {
+    let mut ds = Dataset::new(DatasetConfig::test_small(), 5);
+    let pair = ds.next_pair().unwrap();
+    let aligner = engine();
+    // Strip every detection: stage 2 cannot run.
+    let ego = aligner.frame_from_parts(
+        pair.ego.scan.points().iter().map(|p| p.position),
+        std::iter::empty(),
+    );
+    let other = aligner.frame_from_parts(
+        pair.other.scan.points().iter().map(|p| p.position),
+        std::iter::empty(),
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    if let Ok(r) = aligner.recover(&ego, &other, &mut rng) {
+        assert!(r.box_alignment.is_none());
+        assert_eq!(r.inliers_box(), 0);
+        assert!(!r.is_success(), "success criterion requires stage-2 inliers");
+        assert_eq!(r.transform, r.bv.transform, "must fall back to stage 1");
+    }
+}
+
+#[test]
+fn mismatched_wire_payload_is_rejected_cleanly() {
+    let mut ds = Dataset::new(DatasetConfig::test_small(), 6);
+    let pair = ds.next_pair().unwrap();
+    let aligner = engine();
+    let other = aligner.frame_from_parts(
+        pair.other.scan.points().iter().map(|p| p.position),
+        pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
+    );
+    let mut bytes = bb_align::encode_frame(&other);
+    // Corrupt the cell count upward: decode must not panic or over-read.
+    bytes[20] = 0xFF;
+    bytes[21] = 0xFF;
+    assert!(bb_align::decode_frame(&bytes).is_err());
+}
