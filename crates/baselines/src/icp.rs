@@ -121,7 +121,7 @@ impl NnGrid {
                 if let Some(bucket) = self.map.get(&(kx + dx, ky + dy)) {
                     for &p in bucket {
                         let d = (p - q).norm_sq();
-                        if d <= radius * radius && best.map_or(true, |(_, bd)| d < bd) {
+                        if d <= radius * radius && best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((p, d));
                         }
                     }

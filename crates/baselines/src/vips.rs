@@ -84,7 +84,11 @@ impl Error for VipsError {}
 ///
 /// Returns [`VipsError`] when either side is empty, the affinity graph
 /// yields too few one-to-one matches, or the matched set is degenerate.
-pub fn vips_match(src: &[Vec2], dst: &[Vec2], config: &VipsConfig) -> Result<VipsResult, VipsError> {
+pub fn vips_match(
+    src: &[Vec2],
+    dst: &[Vec2],
+    config: &VipsConfig,
+) -> Result<VipsResult, VipsError> {
     let n = src.len();
     let m = dst.len();
     if n == 0 || m == 0 {
@@ -137,9 +141,8 @@ pub fn vips_match(src: &[Vec2], dst: &[Vec2], config: &VipsConfig) -> Result<Vip
     // A candidate with zero affinity row support never received evidence;
     // an all-zero affinity matrix leaves the eigenvector at its uniform
     // initialisation, which must not be mistaken for consensus.
-    let support: Vec<f64> = (0..num_c)
-        .map(|r| w[r * num_c..(r + 1) * num_c].iter().sum())
-        .collect();
+    let support: Vec<f64> =
+        (0..num_c).map(|r| w[r * num_c..(r + 1) * num_c].iter().sum()).collect();
 
     // Candidate shortlist: the strongest eigenvector entries (conflicts
     // allowed at this point).
@@ -162,8 +165,8 @@ pub fn vips_match(src: &[Vec2], dst: &[Vec2], config: &VipsConfig) -> Result<Vip
     let consistent_set = |t: &Iso2| -> (Vec<(usize, usize)>, f64) {
         // Greedy 1-1 matching of transformed src to dst under the gate.
         let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
-        for i in 0..n {
-            let p = t.apply(src[i]);
+        for (i, sp) in src.iter().enumerate() {
+            let p = t.apply(*sp);
             for (a, q) in dst.iter().enumerate() {
                 let d = p.distance(*q);
                 if d <= verify_threshold {
@@ -292,8 +295,8 @@ mod tests {
 
     #[test]
     fn single_object_fails() {
-        let e = vips_match(&[Vec2::ZERO], &[Vec2::new(1.0, 1.0)], &VipsConfig::default())
-            .unwrap_err();
+        let e =
+            vips_match(&[Vec2::ZERO], &[Vec2::new(1.0, 1.0)], &VipsConfig::default()).unwrap_err();
         assert!(matches!(e, VipsError::TooFewMatches { .. }));
     }
 

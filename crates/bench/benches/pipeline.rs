@@ -70,22 +70,10 @@ fn bench_baselines(c: &mut Criterion) {
     // ICP over the raw ground-plane points (downsampled), from the true
     // pose plus a small offset — its favourable regime.
     let take_every = 20;
-    let src_pts: Vec<Vec2> = pair
-        .other
-        .scan
-        .points()
-        .iter()
-        .step_by(take_every)
-        .map(|p| p.position.xy())
-        .collect();
-    let dst_pts: Vec<Vec2> = pair
-        .ego
-        .scan
-        .points()
-        .iter()
-        .step_by(take_every)
-        .map(|p| p.position.xy())
-        .collect();
+    let src_pts: Vec<Vec2> =
+        pair.other.scan.points().iter().step_by(take_every).map(|p| p.position.xy()).collect();
+    let dst_pts: Vec<Vec2> =
+        pair.ego.scan.points().iter().step_by(take_every).map(|p| p.position.xy()).collect();
     let init = Iso2::new(
         pair.true_relative.yaw() + 0.01,
         pair.true_relative.translation() + Vec2::new(0.4, -0.2),

@@ -22,13 +22,8 @@ fn sample_scan_points() -> Vec<bba_geometry::Vec3> {
     let scenario = Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Suburban), 7);
     let scanner = Scanner::new(LidarConfig::mid_res_32());
     let mut rng = StdRng::seed_from_u64(1);
-    let scan = scanner.scan(
-        scenario.world(),
-        scenario.ego_trajectory(),
-        0.0,
-        scenario.ego_id(),
-        &mut rng,
-    );
+    let scan =
+        scanner.scan(scenario.world(), scenario.ego_trajectory(), 0.0, scenario.ego_id(), &mut rng);
     scan.points().iter().map(|p| p.position).collect()
 }
 

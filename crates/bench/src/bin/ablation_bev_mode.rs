@@ -12,14 +12,10 @@ use bba_bev::BevMode;
 
 fn main() {
     let opts = cli::parse(48, "ablation_bev_mode — height map vs density map");
-    banner(
-        "Ablation: BV rasterisation mode",
-        &format!("{} frame pairs per variant", opts.frames),
-    );
+    banner("Ablation: BV rasterisation mode", &format!("{} frame pairs per variant", opts.frames));
 
     let height = BbAlignConfig::default();
-    let mut density = BbAlignConfig::default();
-    density.bev_mode = BevMode::Density;
+    let density = BbAlignConfig { bev_mode: BevMode::Density, ..BbAlignConfig::default() };
 
     compare_engines(
         &[("height map (paper)", height), ("density map", density)],

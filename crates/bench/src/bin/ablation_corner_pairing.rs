@@ -19,12 +19,14 @@ fn main() {
     );
 
     let corners = BbAlignConfig::default();
-    let mut centers = BbAlignConfig::default();
-    centers.box_pairing = BoxPairing::Centers;
     // Centre pairing yields 1 correspondence per box; the inlier criterion
     // scales down accordingly.
+    let mut centers = BbAlignConfig {
+        box_pairing: BoxPairing::Centers,
+        min_inliers_box: 2,
+        ..BbAlignConfig::default()
+    };
     centers.ransac_box.min_inliers = 2;
-    centers.min_inliers_box = 2;
 
     compare_engines(
         &[("corner pairing (paper)", corners), ("centre pairing", centers)],

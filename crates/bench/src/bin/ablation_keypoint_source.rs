@@ -19,8 +19,8 @@ fn main() {
     );
 
     let amplitude = BbAlignConfig::default();
-    let mut raw_bv = BbAlignConfig::default();
-    raw_bv.keypoint_source = KeypointSource::BvImage;
+    let mut raw_bv =
+        BbAlignConfig { keypoint_source: KeypointSource::BvImage, ..BbAlignConfig::default() };
     // On raw height maps the FAST threshold is in metres of height
     // contrast rather than normalised amplitude.
     raw_bv.keypoints.threshold = 0.8;

@@ -13,18 +13,15 @@ use bba_bench::harness::compare_engines;
 use bba_bench::report::banner;
 
 fn main() {
-    let opts = cli::parse(
-        48,
-        "ablation_rotation_strategy — full hypothesis sweep vs zero-yaw fast path",
-    );
+    let opts =
+        cli::parse(48, "ablation_rotation_strategy — full hypothesis sweep vs zero-yaw fast path");
     banner(
         "Ablation: rotation hypothesis sweep",
         &format!("{} frame pairs per variant (same-direction traffic)", opts.frames),
     );
 
     let full = BbAlignConfig::default();
-    let mut single = BbAlignConfig::default();
-    single.rotation_hypotheses = 1;
+    let single = BbAlignConfig { rotation_hypotheses: 1, ..BbAlignConfig::default() };
 
     compare_engines(
         &[("24 hypotheses (prior-free)", full), ("1 hypothesis (assume ~0 yaw)", single)],

@@ -16,14 +16,10 @@ use bba_scene::{ScenarioConfig, ScenarioPreset};
 
 fn main() {
     let opts = cli::parse(24, "bandwidth — per-frame wire sizes of V2V payloads");
-    banner(
-        "Bandwidth comparison (§III)",
-        &format!("{} frames over mixed scenarios", opts.frames),
-    );
+    banner("Bandwidth comparison (§III)", &format!("{} frames over mixed scenarios", opts.frames));
 
     let aligner = BbAlign::new(BbAlignConfig::default());
-    let presets =
-        [ScenarioPreset::Urban, ScenarioPreset::Suburban, ScenarioPreset::Highway];
+    let presets = [ScenarioPreset::Urban, ScenarioPreset::Suburban, ScenarioPreset::Highway];
     let mut raw = Vec::new();
     let mut features = Vec::new();
     let mut bb = Vec::new();

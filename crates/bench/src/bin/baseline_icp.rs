@@ -67,10 +67,7 @@ fn main() {
             }
         };
         run_icp(noise.corrupt(&truth, &mut rng), &mut icp_gps);
-        run_icp(
-            Iso2::new(truth.yaw(), truth.translation() + Vec2::new(0.8, 0.5)),
-            &mut icp_warm,
-        );
+        run_icp(Iso2::new(truth.yaw(), truth.translation() + Vec2::new(0.8, 0.5)), &mut icp_warm);
         run_icp(Iso2::IDENTITY, &mut icp_blind);
         if (s + 1) % 6 == 0 {
             eprintln!("  [{}/{} pairs]", s + 1, opts.frames);

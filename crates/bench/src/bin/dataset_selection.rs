@@ -46,9 +46,7 @@ fn main() {
             for k in 0..per_cell {
                 let mut dcfg = DatasetConfig::standard();
                 dcfg.scenario = ScenarioConfig::preset(*preset).with_separation(*sep);
-                let seed = opts
-                    .seed
-                    .wrapping_add((pi * 1009 + si * 101 + k) as u64 * 37);
+                let seed = opts.seed.wrapping_add((pi * 1009 + si * 101 + k) as u64 * 37);
                 let mut ds = Dataset::new(dcfg, seed);
                 if ds.next_pair().unwrap().is_selected() {
                     selected += 1;

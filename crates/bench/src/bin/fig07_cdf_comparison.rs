@@ -20,9 +20,7 @@ fn main() {
         &format!("{} frame pairs over mixed urban/suburban/highway scenarios", opts.frames),
     );
 
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     // Real V2V drives span sparse to dense traffic; the overall CDF
     // comparison must include the light-traffic regime where graph
     // matching struggles (paper §II / Fig. 8).
@@ -51,11 +49,8 @@ fn main() {
     );
 
     let thresholds = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0];
-    let mut rows = vec![vec![
-        "translation err <".to_string(),
-        "BB-Align".to_string(),
-        "VIPS".to_string(),
-    ]];
+    let mut rows =
+        vec![vec!["translation err <".to_string(), "BB-Align".to_string(), "VIPS".to_string()]];
     for &t in &thresholds {
         rows.push(vec![
             format!("{t} m"),
@@ -67,11 +62,8 @@ fn main() {
     println!();
 
     let rot_thresholds = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0];
-    let mut rows = vec![vec![
-        "rotation err <".to_string(),
-        "BB-Align".to_string(),
-        "VIPS".to_string(),
-    ]];
+    let mut rows =
+        vec![vec!["rotation err <".to_string(), "BB-Align".to_string(), "VIPS".to_string()]];
     for &t in &rot_thresholds {
         rows.push(vec![
             format!("{t}°"),

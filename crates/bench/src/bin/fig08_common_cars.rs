@@ -19,9 +19,7 @@ fn main() {
         &format!("{} frame pairs, traffic swept 1..16 vehicles", opts.frames),
     );
 
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     cfg.presets = vec![ScenarioPreset::Urban, ScenarioPreset::Suburban];
     cfg.traffic_counts = vec![1, 2, 3, 4, 6, 8, 12, 16];
     let records = run_pool(&cfg);
@@ -38,8 +36,7 @@ fn main() {
         "VIPS p10/p25/p50/p75/p90 (m)".to_string(),
     ]];
     for (label, range) in &buckets {
-        let in_bucket: Vec<_> =
-            records.iter().filter(|r| range.contains(&r.common_cars)).collect();
+        let in_bucket: Vec<_> = records.iter().filter(|r| range.contains(&r.common_cars)).collect();
         // BB-Align's stage 1 needs no cars at all, so this figure filters
         // on stage-1 confidence only (the full success criterion would
         // empty the sparse-traffic bucket by construction: no cars, no

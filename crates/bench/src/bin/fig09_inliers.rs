@@ -21,9 +21,7 @@ fn main() {
         &format!("{} frame pairs over mixed scenarios", opts.frames),
     );
 
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     cfg.run_vips = false;
     let records = run_pool(&cfg);
     bba_bench::harness::maybe_dump_json(&records, &opts);
@@ -62,8 +60,7 @@ fn print_bucketed(
         "<2°".to_string(),
     ]];
     for (label, range) in buckets {
-        let sel: Vec<&&RecoveryStats> =
-            stats.iter().filter(|s| range.contains(&key(s))).collect();
+        let sel: Vec<&&RecoveryStats> = stats.iter().filter(|s| range.contains(&key(s))).collect();
         let dts: Vec<f64> = sel.iter().map(|s| s.dt).collect();
         let drs: Vec<f64> = sel.iter().map(|s| s.dr.to_degrees()).collect();
         rows.push(vec![

@@ -17,9 +17,7 @@ fn main() {
         &format!("{} frame pairs, separations swept 15..95 m", opts.frames),
     );
 
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     cfg.run_vips = false;
     cfg.separations = vec![15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 75.0, 85.0, 95.0];
     let records = run_pool(&cfg);

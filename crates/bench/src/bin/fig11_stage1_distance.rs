@@ -17,9 +17,7 @@ fn main() {
         &format!("{} frame pairs, separations swept 10..95 m", opts.frames),
     );
 
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     cfg.run_vips = false;
     cfg.separations = vec![10.0, 17.0, 25.0, 33.0, 41.0, 50.0, 60.0, 68.0, 78.0, 88.0, 95.0];
     let records = run_pool(&cfg);
@@ -49,9 +47,7 @@ fn main() {
         let drs: Vec<f64> = records
             .iter()
             .filter(|r| range.contains(&r.distance))
-            .filter_map(|r| {
-                r.bb.as_ref().filter(|b| b.success).map(|b| b.stage1_dr.to_degrees())
-            })
+            .filter_map(|r| r.bb.as_ref().filter(|b| b.success).map(|b| b.stage1_dr.to_degrees()))
             .collect();
         rows.push(vec![
             label.to_string(),

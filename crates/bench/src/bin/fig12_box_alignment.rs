@@ -19,9 +19,7 @@ fn main() {
         &format!("{} frame pairs, traffic swept 1..16 vehicles", opts.frames),
     );
 
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     cfg.run_vips = false;
     cfg.presets = vec![ScenarioPreset::Urban, ScenarioPreset::Suburban];
     cfg.traffic_counts = vec![1, 2, 3, 4, 6, 8, 12, 16];

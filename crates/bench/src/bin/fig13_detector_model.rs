@@ -26,13 +26,11 @@ fn main() {
     ]];
     let mut medians = Vec::new();
     for model in [DetectorModel::CoBevt, DetectorModel::FCooper] {
-        let mut cfg = PoolConfig::default();
-        cfg.frames = opts.frames;
-        cfg.seed = opts.seed;
+        let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
         cfg.run_vips = false;
         cfg.dataset.detector = model;
         let records = run_pool(&cfg);
-    bba_bench::harness::maybe_dump_json(&records, &opts);
+        bba_bench::harness::maybe_dump_json(&records, &opts);
         let dts: Vec<f64> = records
             .iter()
             .filter_map(|r| r.bb.as_ref().filter(|b| b.success).map(|b| b.dt))

@@ -26,9 +26,7 @@ fn main() {
     ]];
     let mut medians = Vec::new();
     for (label, with_stage2) in [("two-stage (full)", true), ("stage 1 only", false)] {
-        let mut cfg = PoolConfig::default();
-        cfg.frames = opts.frames;
-        cfg.seed = opts.seed;
+        let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
         cfg.run_vips = false;
         cfg.engine = if with_stage2 {
             BbAlignConfig::default()
@@ -36,15 +34,13 @@ fn main() {
             BbAlignConfig::default().without_box_alignment()
         };
         let records = run_pool(&cfg);
-    bba_bench::harness::maybe_dump_json(&records, &opts);
+        bba_bench::harness::maybe_dump_json(&records, &opts);
         // The stage-1-only arm can never meet the full success criterion
         // (it has no box inliers), so both arms are filtered on the
         // stage-1 confidence signal alone to stay comparable.
         let confident = |b: &&bba_bench::harness::RecoveryStats| b.inliers_bv > 25;
-        let dts: Vec<f64> = records
-            .iter()
-            .filter_map(|r| r.bb.as_ref().filter(confident).map(|b| b.dt))
-            .collect();
+        let dts: Vec<f64> =
+            records.iter().filter_map(|r| r.bb.as_ref().filter(confident).map(|b| b.dt)).collect();
         let drs: Vec<f64> = records
             .iter()
             .filter_map(|r| r.bb.as_ref().filter(confident).map(|b| b.dr.to_degrees()))

@@ -1,0 +1,87 @@
+//! **Extension experiment** — cooperative perception over a lossy V2V link.
+//!
+//! Beyond the paper: the evaluation there hands frames between cars by
+//! function call. Here the same pipeline runs over `bba-link`'s simulated
+//! transport (framing, loss, latency, retransmission) and we sweep packet
+//! loss × link latency, measuring how gracefully the stack degrades: frame
+//! delivery, pose-recovery success, how often the temporal tracker has to
+//! bridge an outage, and the end-to-end frame latency the session layer
+//! actually achieves.
+
+use bba_bench::cli;
+use bba_bench::report::{banner, opt, pct, print_table};
+use bba_bench::stats::percentile;
+use bba_link::{ChannelConfig, HarnessConfig, PoseSource, V2vHarness};
+
+fn main() {
+    let opts = cli::parse(12, "link_degradation — cooperative loop under loss × latency");
+    if opts.json.is_some() {
+        eprintln!("note: this experiment reports per-cell aggregates; --json is ignored");
+    }
+    let losses = [0.0, 0.1, 0.3, 0.5];
+    let latencies = [0.02, 0.10];
+    banner(
+        "Extension: V2V link degradation",
+        &format!(
+            "{} frames per cell, urban scenario, loss {{0,10,30,50}}% × latency {{20,100}} ms",
+            opts.frames
+        ),
+    );
+
+    let mut rows = vec![vec![
+        "loss".to_string(),
+        "latency".to_string(),
+        "delivered".to_string(),
+        "recovered".to_string(),
+        "extrapolated".to_string(),
+        "ego-only".to_string(),
+        "med dt (m)".to_string(),
+        "med e2e (ms)".to_string(),
+        "retx".to_string(),
+    ]];
+    for &latency in &latencies {
+        for &loss in &losses {
+            let cfg = HarnessConfig {
+                frames: opts.frames,
+                seed: opts.seed,
+                channel: ChannelConfig::urban().with_loss(loss).with_latency(latency),
+                ..HarnessConfig::default()
+            };
+            let report = V2vHarness::new(cfg).run();
+
+            let extrapolated = report
+                .outcomes
+                .iter()
+                .filter(|o| o.pose_source == PoseSource::Extrapolated)
+                .count() as f64
+                / report.outcomes.len() as f64;
+            let ego_only = report.outcomes.iter().filter(|o| !o.cooperative).count() as f64
+                / report.outcomes.len() as f64;
+            let dts: Vec<f64> =
+                report.outcomes.iter().filter_map(|o| o.pose_error).map(|(dt, _)| dt).collect();
+            let e2e: Vec<f64> =
+                report.outcomes.iter().filter_map(|o| o.link_latency).map(|s| s * 1e3).collect();
+
+            rows.push(vec![
+                pct(loss),
+                format!("{:.0} ms", latency * 1e3),
+                pct(report.delivered_rate()),
+                pct(report.recovered_rate()),
+                pct(extrapolated),
+                pct(ego_only),
+                opt(percentile(&dts, 50.0), 2),
+                opt(percentile(&e2e, 50.0), 1),
+                report.transmitter.retransmits.to_string(),
+            ]);
+            eprintln!("  [loss {:.0}% latency {:.0} ms done]", loss * 100.0, latency * 1e3);
+        }
+    }
+    print_table(&rows);
+
+    println!(
+        "\nexpected: at zero loss the loop matches the direct-call pipeline (every frame\n\
+         delivered and recovered); rising loss trades delivered frames for tracker\n\
+         extrapolation and ego-only fallback while the loop itself never stalls, and\n\
+         retransmissions push end-to-end latency up well before delivery collapses."
+    );
+}

@@ -17,9 +17,7 @@ fn main() {
     );
 
     // The mix deliberately includes OpenRural, the paper's failure regime.
-    let mut cfg = PoolConfig::default();
-    cfg.frames = opts.frames;
-    cfg.seed = opts.seed;
+    let mut cfg = PoolConfig { frames: opts.frames, seed: opts.seed, ..PoolConfig::default() };
     cfg.run_vips = false;
     cfg.presets = vec![
         ScenarioPreset::Urban,
@@ -30,21 +28,11 @@ fn main() {
     let records = run_pool(&cfg);
     bba_bench::harness::maybe_dump_json(&records, &opts);
 
-    let mut rows = vec![vec![
-        "outcome".to_string(),
-        "pairs".to_string(),
-        "fraction".to_string(),
-    ]];
+    let mut rows = vec![vec!["outcome".to_string(), "pairs".to_string(), "fraction".to_string()]];
     let total = records.len();
     let stage1_failed = records.iter().filter(|r| r.bb.is_none()).count();
-    let solved_weak = records
-        .iter()
-        .filter(|r| r.bb.as_ref().is_some_and(|b| !b.success))
-        .count();
-    let success = records
-        .iter()
-        .filter(|r| r.bb.as_ref().is_some_and(|b| b.success))
-        .count();
+    let solved_weak = records.iter().filter(|r| r.bb.as_ref().is_some_and(|b| !b.success)).count();
+    let success = records.iter().filter(|r| r.bb.as_ref().is_some_and(|b| b.success)).count();
     rows.push(vec![
         "successful (criterion met)".into(),
         success.to_string(),
@@ -65,8 +53,7 @@ fn main() {
     // Success rate among *selected* pairs (≥2 common cars), the paper's
     // denominator.
     let selected: Vec<_> = records.iter().filter(|r| r.common_cars >= 2).collect();
-    let sel_success =
-        selected.iter().filter(|r| r.bb.as_ref().is_some_and(|b| b.success)).count();
+    let sel_success = selected.iter().filter(|r| r.bb.as_ref().is_some_and(|b| b.success)).count();
     println!(
         "\nselected pairs (≥2 common cars): {} of {}; success among selected: {}",
         selected.len(),

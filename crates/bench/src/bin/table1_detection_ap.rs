@@ -60,7 +60,7 @@ fn main() {
                 Err(_) => corrupted, // recovery unavailable: keep GPS pose
             };
             pool.push((pair, corrupted, recovered));
-            if pool.len() % 8 == 0 {
+            if pool.len().is_multiple_of(8) {
                 eprintln!("  [{}/{} pairs prepared]", pool.len(), opts.frames);
             }
         }

@@ -79,11 +79,7 @@ fn main() {
     }
 
     let row = |label: &str, v: &[f64]| {
-        vec![
-            label.to_string(),
-            opt(percentile(v, 50.0), 1),
-            opt(percentile(v, 90.0), 1),
-        ]
+        vec![label.to_string(), opt(percentile(v, 50.0), 1), opt(percentile(v, 90.0), 1)]
     };
     print_table(&[
         vec!["phase".to_string(), "median ms".to_string(), "p90 ms".to_string()],

@@ -43,8 +43,7 @@ pub fn parse_from(
         match arg.as_str() {
             "--frames" => {
                 let v = it.next().ok_or_else(|| "--frames needs a value".to_string())?;
-                opts.frames =
-                    v.parse().map_err(|_| format!("invalid --frames value: {v}"))?;
+                opts.frames = v.parse().map_err(|_| format!("invalid --frames value: {v}"))?;
             }
             "--seed" => {
                 let v = it.next().ok_or_else(|| "--seed needs a value".to_string())?;

@@ -87,11 +87,7 @@ impl Default for PoolConfig {
         PoolConfig {
             frames: 60,
             seed: 2024,
-            presets: vec![
-                ScenarioPreset::Urban,
-                ScenarioPreset::Suburban,
-                ScenarioPreset::Highway,
-            ],
+            presets: vec![ScenarioPreset::Urban, ScenarioPreset::Suburban, ScenarioPreset::Highway],
             separations: Vec::new(),
             traffic_counts: Vec::new(),
             frames_per_scenario: 4,
@@ -193,7 +189,7 @@ pub fn run_pool(cfg: &PoolConfig) -> Vec<PairRecord> {
                 vips,
             });
             index += 1;
-            if cfg.progress && index % 10 == 0 {
+            if cfg.progress && index.is_multiple_of(10) {
                 eprintln!("  [{index}/{} pairs]", cfg.frames);
             }
         }
@@ -277,11 +273,13 @@ mod tests {
 
     /// A fast pool config for tests: coarse sensors, small BEV raster.
     pub fn test_pool(frames: usize, seed: u64) -> PoolConfig {
-        let mut engine = BbAlignConfig::default();
-        engine.bev = BevConfig { range: 102.4, resolution: 1.6 }; // 128²
+        let mut engine = BbAlignConfig {
+            bev: BevConfig { range: 102.4, resolution: 1.6 }, // 128²
+            min_inliers_bv: 10,
+            ..BbAlignConfig::default()
+        };
         engine.descriptor.patch_size = 24;
         engine.descriptor.grid_size = 4;
-        engine.min_inliers_bv = 10;
         PoolConfig {
             frames,
             seed,

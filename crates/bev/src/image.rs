@@ -137,11 +137,8 @@ mod tests {
 
     #[test]
     fn height_map_takes_max() {
-        let pts = vec![
-            Vec3::new(1.0, 1.0, 2.0),
-            Vec3::new(1.05, 1.0, 9.0),
-            Vec3::new(1.1, 1.05, 4.0),
-        ];
+        let pts =
+            vec![Vec3::new(1.0, 1.0, 2.0), Vec3::new(1.05, 1.0, 9.0), Vec3::new(1.1, 1.05, 4.0)];
         let img = BevImage::height_map(pts, &cfg());
         let (u, v) = cfg().world_to_pixel(Vec2::new(1.0, 1.0)).unwrap();
         assert_eq!(img.grid()[(u, v)], 9.0);
@@ -188,11 +185,8 @@ mod tests {
 
     #[test]
     fn wire_size_tracks_occupancy() {
-        let pts = vec![
-            Vec3::new(0.0, 0.0, 3.0),
-            Vec3::new(5.0, 5.0, 2.0),
-            Vec3::new(-5.0, 5.0, 1.0),
-        ];
+        let pts =
+            vec![Vec3::new(0.0, 0.0, 3.0), Vec3::new(5.0, 5.0, 2.0), Vec3::new(-5.0, 5.0, 1.0)];
         let img = BevImage::height_map(pts, &cfg());
         assert_eq!(img.wire_size_bytes(), 3 * 5);
     }

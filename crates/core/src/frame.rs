@@ -62,10 +62,8 @@ mod tests {
 
     fn sample_frame() -> PerceptionFrame {
         let cfg = BevConfig::test_small();
-        let bev = BevImage::height_map(
-            vec![Vec3::new(1.0, 2.0, 5.0), Vec3::new(-4.0, 3.0, 2.0)],
-            &cfg,
-        );
+        let bev =
+            BevImage::height_map(vec![Vec3::new(1.0, 2.0, 5.0), Vec3::new(-4.0, 3.0, 2.0)], &cfg);
         let boxes = vec![
             FrameBox {
                 bev: BevBox::new(Vec2::new(10.0, 0.0), Vec2::new(4.5, 1.9), 0.1),

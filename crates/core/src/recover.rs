@@ -248,7 +248,8 @@ impl BbAlign {
             any_matches = true;
             let mut src: Vec<Vec2> =
                 matches.iter().map(|m| pix(&desc_other[m.src].keypoint)).collect();
-            let mut dst: Vec<Vec2> = matches.iter().map(|m| pix(&desc_ego[m.dst].keypoint)).collect();
+            let mut dst: Vec<Vec2> =
+                matches.iter().map(|m| pix(&desc_ego[m.dst].keypoint)).collect();
 
             // Sequential RANSAC: extract up to `stage1_candidates` disjoint
             // consensus models per hypothesis. In self-similar corridors an
@@ -358,8 +359,7 @@ impl BbAlign {
         rng: &mut R,
     ) -> Option<BoxAlignment> {
         let cfg = &self.config;
-        let ego_boxes: Vec<&FrameBox> =
-            ego.confident_boxes(cfg.box_min_confidence).collect();
+        let ego_boxes: Vec<&FrameBox> = ego.confident_boxes(cfg.box_min_confidence).collect();
         let other_boxes: Vec<BevBox> = other
             .confident_boxes(cfg.box_min_confidence)
             .map(|b| b.bev.transformed(coarse))
@@ -415,10 +415,7 @@ impl BbAlign {
         // corners; restrict the refinement to translation (the dominant
         // self-motion-distortion component per the paper's Fig. 14).
         let transform = if pairs < cfg.box_min_pairs_for_rotation {
-            let mean = result
-                .inliers
-                .iter()
-                .fold(Vec2::ZERO, |acc, &k| acc + (dst[k] - src[k]))
+            let mean = result.inliers.iter().fold(Vec2::ZERO, |acc, &k| acc + (dst[k] - src[k]))
                 / result.inliers.len().max(1) as f64;
             Iso2::from_translation(mean)
         } else {
@@ -562,9 +559,7 @@ mod tests {
             (Vec2::new(-10.0, 5.0), 0.05),
         ]
         .iter()
-        .map(|&(c, yaw)| {
-            (Box3::new(Vec3::from_xy(c, 0.8), Vec3::new(4.5, 1.9, 1.6), yaw), 0.9)
-        })
+        .map(|&(c, yaw)| (Box3::new(Vec3::from_xy(c, 0.8), Vec3::new(4.5, 1.9, 1.6), yaw), 0.9))
         .collect()
     }
 

@@ -252,8 +252,7 @@ mod tests {
         let mut tracker = PoseTracker::new(TrackerConfig::default());
         feed_linear(&mut tracker, 8, 0.5, Vec2::new(30.0, 0.0), Vec2::ZERO, |_| Vec2::ZERO);
         // One aliased recovery 40 m off.
-        let verdict =
-            tracker.update_pose(4.0, &Iso2::new(0.0, Vec2::new(70.0, 0.0)), 40);
+        let verdict = tracker.update_pose(4.0, &Iso2::new(0.0, Vec2::new(70.0, 0.0)), 40);
         assert_eq!(verdict, TrackUpdate::Gated);
         let p = tracker.predict(4.0).unwrap();
         assert!((p.translation() - Vec2::new(30.0, 0.0)).norm() < 1.0, "track hijacked: {p}");

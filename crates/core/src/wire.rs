@@ -41,7 +41,7 @@ impl WireReport {
             raw_cloud_bytes: num_points * 12,
             feature_map_bytes: h * h * Self::FEATURE_CHANNELS * 2,
             bb_align_bytes: frame.wire_size_bytes(),
-            boxes_only_bytes: frame.boxes().len() * 24,
+            boxes_only_bytes: frame.boxes().len() * box_wire_bytes(),
         }
     }
 
@@ -121,18 +121,30 @@ pub fn encode_frame(frame: &PerceptionFrame) -> Vec<u8> {
         out.push(q);
     }
     for b in frame.boxes() {
-        for value in [
-            b.bev.center.x,
-            b.bev.center.y,
-            b.bev.extents.x,
-            b.bev.extents.y,
-            b.bev.yaw,
-            b.confidence,
-        ] {
-            out.extend_from_slice(&(value as f32).to_le_bytes());
-        }
+        encode_box(b, &mut out);
     }
     out
+}
+
+/// Serialises one box in the frame payload's box record format.
+fn encode_box(b: &FrameBox, out: &mut Vec<u8>) {
+    for value in
+        [b.bev.center.x, b.bev.center.y, b.bev.extents.x, b.bev.extents.y, b.bev.yaw, b.confidence]
+    {
+        out.extend_from_slice(&(value as f32).to_le_bytes());
+    }
+}
+
+/// Wire size of one serialised box record, derived from the serialiser
+/// itself so size accounting ([`WireReport`]) cannot drift from the
+/// actual encoding.
+pub fn box_wire_bytes() -> usize {
+    let mut buf = Vec::new();
+    encode_box(
+        &FrameBox { bev: BevBox::new(Vec2::ZERO, Vec2::new(1.0, 1.0), 0.0), confidence: 1.0 },
+        &mut buf,
+    );
+    buf.len()
 }
 
 /// Decodes a payload produced by [`encode_frame`].
@@ -155,11 +167,11 @@ pub fn decode_frame(bytes: &[u8]) -> Result<PerceptionFrame, DecodeError> {
     let f64_at = |s: &[u8]| f64::from_le_bytes(s.try_into().expect("8 bytes"));
     let range = f64_at(take(&mut cursor, 8)?);
     let resolution = f64_at(take(&mut cursor, 8)?);
-    if !(range > 0.0) || !(resolution > 0.0) {
+    // NaN-safe: the header floats must be finite and positive.
+    if !(range.is_finite() && range > 0.0 && resolution.is_finite() && resolution > 0.0) {
         return Err(DecodeError::BadHeader);
     }
-    let n_cells =
-        u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+    let n_cells = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
     let n_boxes = u16::from_le_bytes(take(&mut cursor, 2)?.try_into().expect("2 bytes")) as usize;
 
     let config = BevConfig { range, resolution };
@@ -238,6 +250,25 @@ mod tests {
     }
 
     #[test]
+    fn box_wire_bytes_matches_encoder() {
+        // 6 × f32 per box record.
+        assert_eq!(box_wire_bytes(), 24);
+        // Adding one box to a frame grows the payload by exactly the
+        // derived per-box size — WireReport accounting cannot drift from
+        // the encoder.
+        let frame = frame_with_occupancy(100);
+        let mut boxes = frame.boxes().to_vec();
+        boxes.push(FrameBox {
+            bev: BevBox::new(Vec2::new(-3.0, 7.0), Vec2::new(4.2, 1.8), 0.4),
+            confidence: 0.5,
+        });
+        let bigger = PerceptionFrame::new(frame.bev().clone(), boxes);
+        assert_eq!(encode_frame(&bigger).len() - encode_frame(&frame).len(), box_wire_bytes());
+        let report = WireReport::for_frame(&bigger, 1000);
+        assert_eq!(report.boxes_only_bytes, 2 * box_wire_bytes());
+    }
+
+    #[test]
     fn encode_decode_roundtrip_preserves_structure() {
         let frame = frame_with_occupancy(400);
         let bytes = encode_frame(&frame);
@@ -275,10 +306,7 @@ mod tests {
     fn decode_rejects_garbage() {
         assert_eq!(decode_frame(b"no").unwrap_err(), DecodeError::Truncated);
         assert_eq!(decode_frame(b"nope").unwrap_err(), DecodeError::BadHeader);
-        assert_eq!(
-            decode_frame(b"XXXX____________________").unwrap_err(),
-            DecodeError::BadHeader
-        );
+        assert_eq!(decode_frame(b"XXXX____________________").unwrap_err(), DecodeError::BadHeader);
         // Truncated mid-cells.
         let frame = frame_with_occupancy(50);
         let bytes = encode_frame(&frame);

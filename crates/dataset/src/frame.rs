@@ -181,13 +181,8 @@ impl Dataset {
         let other_scan =
             self.other_scanner.scan(world, s.other_trajectory(), t, s.other_id(), &mut self.rng);
 
-        let ego_dets = self.detector.detect(
-            &ego_scan,
-            world,
-            s.ego_trajectory(),
-            s.ego_id(),
-            &mut self.rng,
-        );
+        let ego_dets =
+            self.detector.detect(&ego_scan, world, s.ego_trajectory(), s.ego_id(), &mut self.rng);
         let other_dets = self.detector.detect(
             &other_scan,
             world,

@@ -73,7 +73,10 @@ pub struct ApResult {
 /// let r = average_precision(&[(dets, gt)], 0.5);
 /// assert_eq!(r.ap, 1.0);
 /// ```
-pub fn average_precision(frames: &[(Vec<Detection>, Vec<GroundTruthBox>)], iou_threshold: f64) -> ApResult {
+pub fn average_precision(
+    frames: &[(Vec<Detection>, Vec<GroundTruthBox>)],
+    iou_threshold: f64,
+) -> ApResult {
     // Collect per-detection (confidence, is_tp) over all frames.
     let mut scored: Vec<(f64, bool)> = Vec::new();
     let mut total_gt = 0usize;
@@ -108,7 +111,12 @@ pub fn average_precision(frames: &[(Vec<Detection>, Vec<GroundTruthBox>)], iou_t
     }
 
     if total_gt == 0 {
-        return ApResult { ap: 0.0, true_positives: 0, false_positives: scored.len(), ground_truth: 0 };
+        return ApResult {
+            ap: 0.0,
+            true_positives: 0,
+            false_positives: scored.len(),
+            ground_truth: 0,
+        };
     }
 
     // Global descending-confidence sweep.
@@ -178,7 +186,10 @@ mod tests {
 
     #[test]
     fn perfect_detections_have_unit_ap() {
-        let gts = vec![GroundTruthBox { box3: car_at(10.0, 0.0) }, GroundTruthBox { box3: car_at(20.0, 5.0) }];
+        let gts = vec![
+            GroundTruthBox { box3: car_at(10.0, 0.0) },
+            GroundTruthBox { box3: car_at(20.0, 5.0) },
+        ];
         let dets = vec![det(car_at(10.0, 0.0), 0.9), det(car_at(20.0, 5.0), 0.8)];
         let r = average_precision(&[(dets, gts)], 0.7);
         assert!((r.ap - 1.0).abs() < 1e-12);
@@ -188,7 +199,10 @@ mod tests {
 
     #[test]
     fn missed_objects_cap_recall() {
-        let gts = vec![GroundTruthBox { box3: car_at(10.0, 0.0) }, GroundTruthBox { box3: car_at(50.0, 0.0) }];
+        let gts = vec![
+            GroundTruthBox { box3: car_at(10.0, 0.0) },
+            GroundTruthBox { box3: car_at(50.0, 0.0) },
+        ];
         let dets = vec![det(car_at(10.0, 0.0), 0.9)];
         let r = average_precision(&[(dets, gts)], 0.5);
         assert!((r.ap - 0.5).abs() < 1e-12);
@@ -230,7 +244,8 @@ mod tests {
 
     #[test]
     fn multi_frame_accumulation() {
-        let f1 = (vec![det(car_at(10.0, 0.0), 0.9)], vec![GroundTruthBox { box3: car_at(10.0, 0.0) }]);
+        let f1 =
+            (vec![det(car_at(10.0, 0.0), 0.9)], vec![GroundTruthBox { box3: car_at(10.0, 0.0) }]);
         let f2 = (Vec::new(), vec![GroundTruthBox { box3: car_at(15.0, 0.0) }]);
         let r = average_precision(&[f1, f2], 0.5);
         assert_eq!(r.ground_truth, 2);

@@ -152,8 +152,7 @@ impl Detector {
                 ),
                 sensor_box.yaw + gauss.sample_scaled(rng, p.yaw_sigma),
             );
-            let confidence =
-                (p_det * (0.85 + 0.15 * rng.random::<f64>())).clamp(0.05, 0.999);
+            let confidence = (p_det * (0.85 + 0.15 * rng.random::<f64>())).clamp(0.05, 0.999);
             out.push(Detection { box3: noisy, confidence, truth: Some(id) });
         }
 
@@ -165,11 +164,7 @@ impl Detector {
             let center = Vec2::from_angle(bearing) * range;
             let yaw = rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
             out.push(Detection {
-                box3: Box3::new(
-                    Vec3::from_xy(center, 0.8),
-                    Vec3::new(4.2, 1.8, 1.6),
-                    yaw,
-                ),
+                box3: Box3::new(Vec3::from_xy(center, 0.8), Vec3::new(4.2, 1.8, 1.6), yaw),
                 confidence: rng.random_range(0.05..0.45),
                 truth: None,
             });
@@ -205,8 +200,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn scan_setup(seed: u64) -> (Scenario, Scan) {
-        let scenario =
-            Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Urban), seed);
+        let scenario = Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Urban), seed);
         let scanner = Scanner::new(LidarConfig::test_coarse());
         let mut rng = StdRng::seed_from_u64(seed);
         let scan = scanner.scan(
@@ -320,7 +314,9 @@ mod tests {
         );
         for d in dets.iter().filter(|d| d.truth.is_some()) {
             let hits = scan.hits_on(d.truth.unwrap());
-            assert!(hits >= 5, "detected object with only {hits} hits");
+            // CoBevt's profile floors detection at min_hits = 3; anything
+            // below that must be missed regardless of the recall draw.
+            assert!(hits >= 3, "detected object with only {hits} hits");
         }
     }
 
@@ -328,8 +324,7 @@ mod tests {
     fn poisson_sampler_mean_is_lambda() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| poisson_small(1.5, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| poisson_small(1.5, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
         assert_eq!(poisson_small(0.0, &mut rng), 0);
     }

@@ -74,11 +74,7 @@ impl Descriptor {
     /// Panics if the vectors have different lengths (descriptors from
     /// differently-configured pipelines are not comparable).
     pub fn distance_sq(&self, other: &Descriptor) -> f64 {
-        assert_eq!(
-            self.vector.len(),
-            other.vector.len(),
-            "descriptor dimensionality mismatch"
-        );
+        assert_eq!(self.vector.len(), other.vector.len(), "descriptor dimensionality mismatch");
         self.vector
             .iter()
             .zip(&other.vector)
@@ -107,10 +103,7 @@ pub fn describe_keypoints(
     keypoints: &[Keypoint],
     config: &DescriptorConfig,
 ) -> Vec<Descriptor> {
-    keypoints
-        .iter()
-        .filter_map(|kp| describe_one(mim, *kp, config, None))
-        .collect()
+    keypoints.iter().filter_map(|kp| describe_one(mim, *kp, config, None)).collect()
 }
 
 /// Computes descriptors with a fixed global patch rotation of `angle`
@@ -126,10 +119,7 @@ pub fn describe_keypoints_rotated(
     config: &DescriptorConfig,
     angle: f64,
 ) -> Vec<Descriptor> {
-    keypoints
-        .iter()
-        .filter_map(|kp| describe_one(mim, *kp, config, Some(angle)))
-        .collect()
+    keypoints.iter().filter_map(|kp| describe_one(mim, *kp, config, Some(angle))).collect()
 }
 
 fn describe_one(

@@ -117,9 +117,8 @@ pub fn detect_keypoints(img: &Grid<f64>, config: &KeypointConfig) -> Vec<Keypoin
         for kp in raw {
             let pu = kp.u as i64;
             let pv = kp.v as i64;
-            let clash = occupied
-                .iter()
-                .any(|&(ou, ov)| (ou - pu).abs() <= r && (ov - pv).abs() <= r);
+            let clash =
+                occupied.iter().any(|&(ou, ov)| (ou - pu).abs() <= r && (ov - pv).abs() <= r);
             if !clash {
                 occupied.push((pu, pv));
                 kept.push(kp);
@@ -150,8 +149,7 @@ fn longest_run_score(states: &[i8; 16], diffs: &[f64; 16], min_len: usize) -> Op
                 run_score += diffs[i].abs();
                 if run >= min_len {
                     let capped = if run > 16 { run_score * 16.0 / run as f64 } else { run_score };
-                    best_for_sign =
-                        Some(best_for_sign.map_or(capped, |b: f64| b.max(capped)));
+                    best_for_sign = Some(best_for_sign.map_or(capped, |b: f64| b.max(capped)));
                 }
             } else {
                 run = 0;

@@ -41,7 +41,9 @@ pub mod keypoints;
 pub mod matcher;
 pub mod ransac;
 
-pub use descriptor::{describe_keypoints, describe_keypoints_rotated, Descriptor, DescriptorConfig, SampleWeighting};
+pub use descriptor::{
+    describe_keypoints, describe_keypoints_rotated, Descriptor, DescriptorConfig, SampleWeighting,
+};
 pub use keypoints::{detect_keypoints, Keypoint, KeypointConfig};
 pub use matcher::{match_descriptors, Match, MatcherConfig};
 pub use ransac::{ransac_rigid, RansacConfig, RansacError, RansacResult};

@@ -134,9 +134,8 @@ pub fn ransac_rigid<R: Rng + ?Sized>(
         let Ok(model) = fit_rigid_2d(&[src[i], src[j]], &[dst[i], dst[j]]) else {
             continue;
         };
-        let inliers: Vec<usize> = (0..n)
-            .filter(|&k| (model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq)
-            .collect();
+        let inliers: Vec<usize> =
+            (0..n).filter(|&k| (model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
         if inliers.len() > best_inliers.len() {
             best_inliers = inliers;
             if best_inliers.len() as f64 >= config.early_exit_fraction * n as f64 {
@@ -163,9 +162,8 @@ pub fn ransac_rigid<R: Rng + ?Sized>(
         best: best_inliers.len(),
         required: config.min_inliers.max(2),
     })?;
-    let expanded: Vec<usize> = (0..n)
-        .filter(|&k| (transform.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq)
-        .collect();
+    let expanded: Vec<usize> =
+        (0..n).filter(|&k| (transform.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
     if expanded.len() >= best_inliers.len() {
         if let Ok(t2) = refit(&expanded) {
             transform = t2;
@@ -193,9 +191,8 @@ mod tests {
 
     fn clean_pairs(n: usize) -> (Vec<Vec2>, Vec<Vec2>) {
         let t = truth();
-        let src: Vec<Vec2> = (0..n)
-            .map(|i| Vec2::new((i * 13 % 29) as f64, (i * 7 % 31) as f64))
-            .collect();
+        let src: Vec<Vec2> =
+            (0..n).map(|i| Vec2::new((i * 13 % 29) as f64, (i * 7 % 31) as f64)).collect();
         let dst = src.iter().map(|&p| t.apply(p)).collect();
         (src, dst)
     }
@@ -230,7 +227,9 @@ mod tests {
         let dst: Vec<Vec2> = dst
             .iter()
             .enumerate()
-            .map(|(i, &p)| p + Vec2::new(0.3 * ((i % 3) as f64 - 1.0), 0.3 * ((i % 5) as f64 - 2.0) / 2.0))
+            .map(|(i, &p)| {
+                p + Vec2::new(0.3 * ((i % 3) as f64 - 1.0), 0.3 * ((i % 5) as f64 - 2.0) / 2.0)
+            })
             .collect();
         let cfg = RansacConfig { inlier_threshold: 1.0, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(3);
@@ -257,7 +256,8 @@ mod tests {
 
     #[test]
     fn pure_noise_yields_no_consensus() {
-        let src: Vec<Vec2> = (0..30).map(|i| Vec2::new(i as f64 * 3.1, (i * i) as f64 % 17.0)).collect();
+        let src: Vec<Vec2> =
+            (0..30).map(|i| Vec2::new(i as f64 * 3.1, (i * i) as f64 % 17.0)).collect();
         let dst: Vec<Vec2> =
             (0..30).map(|i| Vec2::new((i * i * 7) as f64 % 97.0, -(i as f64) * 5.3)).collect();
         let cfg = RansacConfig { inlier_threshold: 0.05, min_inliers: 10, ..Default::default() };
@@ -273,7 +273,8 @@ mod tests {
     #[test]
     fn early_exit_stops_iterating() {
         let (src, dst) = clean_pairs(50);
-        let cfg = RansacConfig { max_iterations: 1000, early_exit_fraction: 0.5, ..Default::default() };
+        let cfg =
+            RansacConfig { max_iterations: 1000, early_exit_fraction: 0.5, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(5);
         let r = ransac_rigid(&src, &dst, &cfg, &mut rng).unwrap();
         assert!(r.iterations < 1000, "clean data should exit early, took {}", r.iterations);

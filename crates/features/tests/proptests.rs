@@ -16,7 +16,10 @@ fn any_iso2() -> impl Strategy<Value = Iso2> {
 }
 
 fn spread_points(n: usize) -> impl Strategy<Value = Vec<Vec2>> {
-    proptest::collection::vec((-80.0..80.0f64, -80.0..80.0f64).prop_map(|(x, y)| Vec2::new(x, y)), n)
+    proptest::collection::vec(
+        (-80.0..80.0f64, -80.0..80.0f64).prop_map(|(x, y)| Vec2::new(x, y)),
+        n,
+    )
 }
 
 proptest! {

@@ -110,6 +110,31 @@ impl FusionExperiment {
         (dets, gt)
     }
 
+    /// Ego-only detection: what the receiver is left with when the V2V
+    /// link delivered no usable frame. Same `(detections, ground_truth)`
+    /// shape as [`FusionExperiment::run_frame`], so degradation
+    /// experiments can score both operating modes with one AP pass.
+    pub fn ego_only(pair: &FramePair) -> (Vec<Detection>, Vec<GroundTruthBox>) {
+        let gt: Vec<GroundTruthBox> =
+            pair.gt_vehicles_ego.iter().map(|&(_, b)| GroundTruthBox { box3: b }).collect();
+        (pair.ego.detections.clone(), gt)
+    }
+
+    /// Link-fed entry point: fuses cooperatively when the transport
+    /// produced a pose for this frame (recovered or extrapolated), and
+    /// degrades to [`FusionExperiment::ego_only`] when it did not.
+    pub fn run_frame_link<R: Rng + ?Sized>(
+        &self,
+        pair: &FramePair,
+        link_pose: Option<&Iso2>,
+        rng: &mut R,
+    ) -> (Vec<Detection>, Vec<GroundTruthBox>) {
+        match link_pose {
+            Some(pose) => self.run_frame(pair, pose, rng),
+            None => Self::ego_only(pair),
+        }
+    }
+
     /// Late fusion: per-car boxes, other's transformed, NMS-merged.
     fn late_fusion<R: Rng + ?Sized>(
         &self,
@@ -286,10 +311,7 @@ mod tests {
             let solo = average_precision(&[(pair.ego.detections.clone(), gt)], 0.5);
             solo_tp += solo.true_positives;
         }
-        assert!(
-            coop_tp >= solo_tp,
-            "cooperative TP {coop_tp} should be ≥ single-car TP {solo_tp}"
-        );
+        assert!(coop_tp >= solo_tp, "cooperative TP {coop_tp} should be ≥ single-car TP {solo_tp}");
     }
 
     #[test]

@@ -107,7 +107,9 @@ mod tests {
             let n = normalize_angle(a);
             assert!(n > -PI - 1e-12 && n <= PI + 1e-12, "{a} -> {n}");
             // Same direction.
-            assert!(((n - a).rem_euclid(2.0 * PI)).min(2.0 * PI - (n - a).rem_euclid(2.0 * PI)) < 1e-9);
+            assert!(
+                ((n - a).rem_euclid(2.0 * PI)).min(2.0 * PI - (n - a).rem_euclid(2.0 * PI)) < 1e-9
+            );
         }
     }
 

@@ -82,12 +82,8 @@ impl BevBox {
     fn corners_for_yaw(&self, yaw: f64) -> [Vec2; 4] {
         let hx = 0.5 * self.extents.x;
         let hy = 0.5 * self.extents.y;
-        let local = [
-            Vec2::new(hx, hy),
-            Vec2::new(-hx, hy),
-            Vec2::new(-hx, -hy),
-            Vec2::new(hx, -hy),
-        ];
+        let local =
+            [Vec2::new(hx, hy), Vec2::new(-hx, hy), Vec2::new(-hx, -hy), Vec2::new(hx, -hy)];
         let t = Iso2::new(yaw, self.center);
         [t.apply(local[0]), t.apply(local[1]), t.apply(local[2]), t.apply(local[3])]
     }
@@ -95,7 +91,8 @@ impl BevBox {
     /// True when the point lies inside (or on the boundary of) the box.
     pub fn contains(&self, p: Vec2) -> bool {
         let local = (p - self.center).rotated(-self.yaw);
-        local.x.abs() <= 0.5 * self.extents.x + 1e-12 && local.y.abs() <= 0.5 * self.extents.y + 1e-12
+        local.x.abs() <= 0.5 * self.extents.x + 1e-12
+            && local.y.abs() <= 0.5 * self.extents.y + 1e-12
     }
 
     /// The box transformed rigidly by `t`.

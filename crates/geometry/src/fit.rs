@@ -147,12 +147,8 @@ mod tests {
     #[test]
     fn exact_recovery_on_clean_data() {
         let truth = Iso2::new(-1.9, Vec2::new(12.0, -7.5));
-        let src = [
-            Vec2::new(0.0, 0.0),
-            Vec2::new(10.0, 0.0),
-            Vec2::new(3.0, 8.0),
-            Vec2::new(-5.0, 2.0),
-        ];
+        let src =
+            [Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), Vec2::new(3.0, 8.0), Vec2::new(-5.0, 2.0)];
         let dst = apply_all(&truth, &src);
         let fit = fit_rigid_2d(&src, &dst).unwrap();
         assert!(fit.approx_eq(&truth, 1e-10, 1e-10));
@@ -171,12 +167,8 @@ mod tests {
     fn least_squares_averages_noise() {
         // Symmetric noise around the true transform cancels in the estimate.
         let truth = Iso2::new(0.0, Vec2::ZERO);
-        let src = [
-            Vec2::new(1.0, 0.0),
-            Vec2::new(-1.0, 0.0),
-            Vec2::new(0.0, 1.0),
-            Vec2::new(0.0, -1.0),
-        ];
+        let src =
+            [Vec2::new(1.0, 0.0), Vec2::new(-1.0, 0.0), Vec2::new(0.0, 1.0), Vec2::new(0.0, -1.0)];
         let eps = 0.05;
         let dst = [
             Vec2::new(1.0 + eps, 0.0),

@@ -116,11 +116,7 @@ impl Iso2 {
     /// Row-major 3×3 homogeneous matrix representation.
     pub fn to_matrix(&self) -> [[f64; 3]; 3] {
         let (s, c) = self.yaw.sin_cos();
-        [
-            [c, -s, self.translation.x],
-            [s, c, self.translation.y],
-            [0.0, 0.0, 1.0],
-        ]
+        [[c, -s, self.translation.x], [s, c, self.translation.y], [0.0, 0.0, 1.0]]
     }
 
     /// Reconstructs the transform from a row-major homogeneous matrix.
@@ -182,12 +178,7 @@ pub struct Iso3 {
 impl Iso3 {
     /// The identity transform.
     pub const IDENTITY: Iso3 = Iso3 {
-        m: [
-            [1.0, 0.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0, 0.0],
-            [0.0, 0.0, 1.0, 0.0],
-            [0.0, 0.0, 0.0, 1.0],
-        ],
+        m: [[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 0.0], [0.0, 0.0, 0.0, 1.0]],
     };
 
     /// Builds the full Euler-angle transform of Eq. (1)–(2) with yaw `α`,

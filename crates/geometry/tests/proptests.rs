@@ -15,8 +15,7 @@ fn any_angle() -> impl Strategy<Value = f64> {
 }
 
 fn any_iso2() -> impl Strategy<Value = Iso2> {
-    (any_angle(), small_coord(), small_coord())
-        .prop_map(|(a, x, y)| Iso2::new(a, Vec2::new(x, y)))
+    (any_angle(), small_coord(), small_coord()).prop_map(|(a, x, y)| Iso2::new(a, Vec2::new(x, y)))
 }
 
 fn any_vec2() -> impl Strategy<Value = Vec2> {

@@ -36,7 +36,12 @@ pub struct Scan {
 
 impl Scan {
     /// Assembles a scan from parts (used by [`crate::Scanner`]).
-    pub fn new(points: Vec<ScanPoint>, sensor_pose: Iso2, config: LidarConfig, timestamp: f64) -> Self {
+    pub fn new(
+        points: Vec<ScanPoint>,
+        sensor_pose: Iso2,
+        config: LidarConfig,
+        timestamp: f64,
+    ) -> Self {
         Scan { points, sensor_pose, config, timestamp }
     }
 
@@ -80,12 +85,8 @@ impl Scan {
     /// when the obstacle was not hit. Approximates *when* during the sweep
     /// the object was observed (for distortion-aware consumers).
     pub fn mean_sweep_frac(&self, id: ObstacleId) -> Option<f64> {
-        let fracs: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|p| p.target == Some(id))
-            .map(|p| p.sweep_frac)
-            .collect();
+        let fracs: Vec<f64> =
+            self.points.iter().filter(|p| p.target == Some(id)).map(|p| p.sweep_frac).collect();
         if fracs.is_empty() {
             None
         } else {
@@ -127,10 +128,22 @@ mod tests {
 
     fn sample_scan() -> Scan {
         let points = vec![
-            ScanPoint { position: Vec3::new(1.0, 0.0, 0.5), target: Some(ObstacleId(3)), sweep_frac: 0.0 },
+            ScanPoint {
+                position: Vec3::new(1.0, 0.0, 0.5),
+                target: Some(ObstacleId(3)),
+                sweep_frac: 0.0,
+            },
             ScanPoint { position: Vec3::new(2.0, 1.0, 0.0), target: None, sweep_frac: 0.25 },
-            ScanPoint { position: Vec3::new(-1.0, 2.0, 1.5), target: Some(ObstacleId(3)), sweep_frac: 0.5 },
-            ScanPoint { position: Vec3::new(0.0, -2.0, 1.0), target: Some(ObstacleId(9)), sweep_frac: 0.75 },
+            ScanPoint {
+                position: Vec3::new(-1.0, 2.0, 1.5),
+                target: Some(ObstacleId(3)),
+                sweep_frac: 0.5,
+            },
+            ScanPoint {
+                position: Vec3::new(0.0, -2.0, 1.0),
+                target: Some(ObstacleId(9)),
+                sweep_frac: 0.75,
+            },
         ];
         Scan::new(
             points,

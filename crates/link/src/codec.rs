@@ -1,0 +1,302 @@
+//! Datagram framing: the bottom layer of the simulated V2V transport.
+//!
+//! A message (one serialised [`bb_align::PerceptionFrame`] payload, or an
+//! ack) is split into MTU-sized *datagrams*, each carrying an 18-byte
+//! header:
+//!
+//! ```text
+//! magic "BL" u16 | version u8 | kind u8 | msg_id u32 | chunk_index u16
+//! chunk_count u16 | payload_len u16 | checksum u32 | payload bytes
+//! ```
+//!
+//! All integers little-endian. The checksum is FNV-1a over the first
+//! 14 header bytes plus the payload, so a corrupted datagram — any field
+//! or payload byte — is rejected at decode instead of poisoning frame
+//! reassembly upstream.
+
+use std::error::Error;
+use std::fmt;
+
+/// Leading magic bytes of every datagram.
+pub const MAGIC: [u8; 2] = *b"BL";
+/// Wire protocol version this implementation speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_BYTES: usize = 18;
+/// Smallest MTU that leaves room for at least one payload byte.
+pub const MIN_MTU: usize = HEADER_BYTES + 1;
+
+/// What a datagram carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatagramKind {
+    /// One chunk of a message.
+    Data,
+    /// Acknowledgement of a fully received message (`msg_id` names it).
+    Ack,
+}
+
+/// A decoded datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Data chunk or ack.
+    pub kind: DatagramKind,
+    /// Sender-assigned message sequence number.
+    pub msg_id: u32,
+    /// Index of this chunk within the message (0 for acks).
+    pub chunk_index: u16,
+    /// Total chunks in the message (0 for acks).
+    pub chunk_count: u16,
+    /// The chunk payload (empty for acks).
+    pub payload: Vec<u8>,
+}
+
+/// Why a datagram failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion,
+    /// Unknown kind byte.
+    BadKind,
+    /// Declared payload length disagrees with the buffer size.
+    LengthMismatch,
+    /// Chunk index/count inconsistent with the kind.
+    BadChunk,
+    /// Checksum mismatch: the datagram was corrupted in flight.
+    BadChecksum,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "datagram shorter than header"),
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::BadVersion => write!(f, "unsupported protocol version"),
+            CodecError::BadKind => write!(f, "unknown datagram kind"),
+            CodecError::LengthMismatch => write!(f, "declared payload length mismatch"),
+            CodecError::BadChunk => write!(f, "inconsistent chunk index/count"),
+            CodecError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// FNV-1a over the header prefix and payload.
+fn checksum(header_prefix: &[u8], payload: &[u8]) -> u32 {
+    let mut h = 0x811C_9DC5u32;
+    for &b in header_prefix.iter().chain(payload) {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Payload bytes that fit in one datagram at the given MTU.
+///
+/// # Panics
+///
+/// Panics if `mtu < MIN_MTU`.
+pub fn max_chunk_payload(mtu: usize) -> usize {
+    assert!(mtu >= MIN_MTU, "mtu {mtu} below minimum {MIN_MTU}");
+    (mtu - HEADER_BYTES).min(u16::MAX as usize)
+}
+
+fn encode_raw(
+    kind: DatagramKind,
+    msg_id: u32,
+    chunk_index: u16,
+    chunk_count: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    debug_assert!(payload.len() <= u16::MAX as usize);
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(match kind {
+        DatagramKind::Data => 0,
+        DatagramKind::Ack => 1,
+    });
+    out.extend_from_slice(&msg_id.to_le_bytes());
+    out.extend_from_slice(&chunk_index.to_le_bytes());
+    out.extend_from_slice(&chunk_count.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    let sum = checksum(&out, payload);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits a message payload into MTU-sized datagrams.
+///
+/// An empty payload still produces one (empty) datagram so the message
+/// exists on the wire.
+///
+/// # Panics
+///
+/// Panics if `mtu < MIN_MTU` or the payload needs more than `u16::MAX`
+/// chunks.
+pub fn encode_message(msg_id: u32, payload: &[u8], mtu: usize) -> Vec<Vec<u8>> {
+    let chunk_size = max_chunk_payload(mtu);
+    let chunk_count = payload.len().div_ceil(chunk_size).max(1);
+    assert!(chunk_count <= u16::MAX as usize, "message needs {chunk_count} chunks");
+    (0..chunk_count)
+        .map(|i| {
+            let chunk = &payload[i * chunk_size..((i + 1) * chunk_size).min(payload.len())];
+            encode_raw(DatagramKind::Data, msg_id, i as u16, chunk_count as u16, chunk)
+        })
+        .collect()
+}
+
+/// Encodes an acknowledgement for `msg_id`.
+pub fn encode_ack(msg_id: u32) -> Vec<u8> {
+    encode_raw(DatagramKind::Ack, msg_id, 0, 0, &[])
+}
+
+/// Decodes and validates one datagram.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for any structural or checksum violation; never
+/// panics on arbitrary input.
+pub fn decode_datagram(bytes: &[u8]) -> Result<Datagram, CodecError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes[2] != VERSION {
+        return Err(CodecError::BadVersion);
+    }
+    let kind = match bytes[3] {
+        0 => DatagramKind::Data,
+        1 => DatagramKind::Ack,
+        _ => return Err(CodecError::BadKind),
+    };
+    let u16_at = |i: usize| u16::from_le_bytes(bytes[i..i + 2].try_into().expect("2 bytes"));
+    let msg_id = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let chunk_index = u16_at(8);
+    let chunk_count = u16_at(10);
+    let payload_len = u16_at(12) as usize;
+    if bytes.len() != HEADER_BYTES + payload_len {
+        return Err(if bytes.len() < HEADER_BYTES + payload_len {
+            CodecError::Truncated
+        } else {
+            CodecError::LengthMismatch
+        });
+    }
+    let declared = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes"));
+    let payload = &bytes[HEADER_BYTES..];
+    if checksum(&bytes[0..14], payload) != declared {
+        return Err(CodecError::BadChecksum);
+    }
+    match kind {
+        DatagramKind::Data if chunk_index >= chunk_count => return Err(CodecError::BadChunk),
+        DatagramKind::Ack if chunk_count != 0 || chunk_index != 0 || payload_len != 0 => {
+            return Err(CodecError::BadChunk)
+        }
+        _ => {}
+    }
+    Ok(Datagram { kind, msg_id, chunk_index, chunk_count, payload: payload.to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_single_datagram() {
+        let p = payload(100);
+        let grams = encode_message(7, &p, 1200);
+        assert_eq!(grams.len(), 1);
+        let d = decode_datagram(&grams[0]).unwrap();
+        assert_eq!(d.kind, DatagramKind::Data);
+        assert_eq!(d.msg_id, 7);
+        assert_eq!((d.chunk_index, d.chunk_count), (0, 1));
+        assert_eq!(d.payload, p);
+    }
+
+    #[test]
+    fn roundtrip_chunked_message_reassembles() {
+        let p = payload(5000);
+        let mtu = 200;
+        let grams = encode_message(42, &p, mtu);
+        assert_eq!(grams.len(), 5000usize.div_ceil(mtu - HEADER_BYTES));
+        let mut back = Vec::new();
+        for (i, g) in grams.iter().enumerate() {
+            assert!(g.len() <= mtu, "datagram {} exceeds mtu: {}", i, g.len());
+            let d = decode_datagram(g).unwrap();
+            assert_eq!(d.chunk_index as usize, i);
+            assert_eq!(d.chunk_count as usize, grams.len());
+            back.extend_from_slice(&d.payload);
+        }
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn empty_message_still_produces_one_datagram() {
+        let grams = encode_message(1, &[], 64);
+        assert_eq!(grams.len(), 1);
+        let d = decode_datagram(&grams[0]).unwrap();
+        assert!(d.payload.is_empty());
+        assert_eq!(d.chunk_count, 1);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let d = decode_datagram(&encode_ack(99)).unwrap();
+        assert_eq!(d.kind, DatagramKind::Ack);
+        assert_eq!(d.msg_id, 99);
+        assert!(d.payload.is_empty());
+    }
+
+    #[test]
+    fn corrupt_payload_byte_is_rejected() {
+        let mut g = encode_message(3, &payload(300), 400).remove(0);
+        g[HEADER_BYTES + 57] ^= 0x40;
+        assert_eq!(decode_datagram(&g).unwrap_err(), CodecError::BadChecksum);
+    }
+
+    #[test]
+    fn corrupt_header_fields_are_rejected() {
+        let good = encode_message(3, &payload(40), 400).remove(0);
+        let mutate = |i: usize, x: u8| {
+            let mut g = good.clone();
+            g[i] ^= x;
+            decode_datagram(&g).unwrap_err()
+        };
+        assert_eq!(mutate(0, 0xFF), CodecError::BadMagic);
+        assert_eq!(mutate(2, 0x01), CodecError::BadVersion);
+        assert_eq!(mutate(3, 0x08), CodecError::BadKind);
+        // msg_id flip only trips the checksum.
+        assert_eq!(mutate(5, 0x01), CodecError::BadChecksum);
+        // payload_len flip changes the structural size first.
+        assert!(matches!(mutate(12, 0x01), CodecError::Truncated | CodecError::LengthMismatch));
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        assert_eq!(decode_datagram(&[]).unwrap_err(), CodecError::Truncated);
+        assert_eq!(decode_datagram(&[0u8; 5]).unwrap_err(), CodecError::Truncated);
+        let g = encode_message(3, &payload(40), 400).remove(0);
+        assert_eq!(decode_datagram(&g[..g.len() - 1]).unwrap_err(), CodecError::Truncated);
+        let mut long = g.clone();
+        long.push(0);
+        assert_eq!(decode_datagram(&long).unwrap_err(), CodecError::LengthMismatch);
+    }
+
+    #[test]
+    fn mtu_floor_is_enforced() {
+        assert_eq!(max_chunk_payload(MIN_MTU), 1);
+        let r = std::panic::catch_unwind(|| encode_message(1, &[1], HEADER_BYTES));
+        assert!(r.is_err(), "sub-minimum MTU must panic");
+    }
+}

@@ -1,0 +1,41 @@
+//! **bba-link**: a simulated V2V transport runtime for the BB-Align
+//! reproduction.
+//!
+//! The paper's evaluation hands one car's perception frame to the other
+//! by function call. Real V2V links drop, delay, reorder, and duplicate
+//! packets — and the interesting systems question is what the cooperative
+//! perception stack does when they do. This crate closes that gap with
+//! four layers:
+//!
+//! 1. [`codec`] — length-prefixed, versioned, checksummed datagram
+//!    framing that chunks a serialised
+//!    [`PerceptionFrame`](bb_align::PerceptionFrame) payload into
+//!    MTU-sized datagrams;
+//! 2. [`channel`] — a seeded, virtual-clock lossy link model
+//!    ([`SimChannel`]) with configurable loss, latency, jitter,
+//!    reordering, duplication, and a bandwidth cap;
+//! 3. [`session`] — a per-peer state machine ([`LinkEndpoint`]) with
+//!    sequence numbers, reassembly buffers, ack/retransmit with
+//!    exponential backoff, staleness expiry, and a
+//!    `Discovering → Synced → Degraded → Lost` health signal;
+//! 4. [`harness`] — the cooperative loop ([`V2vHarness`]) running two
+//!    simulated vehicles over the link, feeding received frames into
+//!    `bb_align` pose recovery and `bba-fusion`, and degrading gracefully
+//!    to ego-only perception plus tracking-based pose extrapolation when
+//!    the link starves.
+//!
+//! Everything is deterministic for a fixed seed, and over a lossless
+//! channel ([`ChannelConfig::ideal`]) the loop reproduces the direct-call
+//! pipeline exactly — the two properties the integration tests pin.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod codec;
+pub mod harness;
+pub mod session;
+
+pub use channel::{ChannelConfig, ChannelStats, SimChannel};
+pub use codec::{decode_datagram, encode_ack, encode_message, CodecError, Datagram, DatagramKind};
+pub use harness::{FrameOutcome, HarnessConfig, HarnessReport, PoseSource, V2vHarness};
+pub use session::{LinkEndpoint, PeerState, ReceivedMessage, SessionConfig, SessionStats};

@@ -1,0 +1,468 @@
+//! The per-peer session layer: sequencing, reassembly, ack/retransmit,
+//! staleness, and the peer-health state machine.
+//!
+//! A [`LinkEndpoint`] sits between the application (perception frames)
+//! and a pair of unidirectional [`SimChannel`]s. Outgoing messages get a
+//! sequence number, a sender timestamp, and are chunked into datagrams
+//! ([`crate::codec`]); incoming datagrams are verified, reassembled, and
+//! acknowledged once the whole message is in (an ack means "I have the
+//! complete message", so a lone surviving chunk of a large frame cannot
+//! silence the sender's retransmits). Unacknowledged messages are
+//! retransmitted with
+//! exponential backoff until a retry budget runs out; reassembled frames
+//! older than the staleness window are discarded rather than delivered —
+//! a perception frame from half a second ago is worse than no frame,
+//! because the tracker's extrapolation is already better.
+//!
+//! Peer health ([`PeerState`]) is derived from received-frame recency:
+//! `Discovering` until the first complete frame, then `Synced` /
+//! `Degraded` / `Lost` as the age of the last complete frame grows.
+
+use crate::channel::SimChannel;
+use crate::codec::{decode_datagram, encode_ack, encode_message, Datagram, DatagramKind};
+use std::collections::HashMap;
+
+/// Session tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Datagram size cap handed to the codec.
+    pub mtu: usize,
+    /// First retransmit fires this long after a send with no ack (s).
+    pub ack_timeout: f64,
+    /// Backoff multiplier between consecutive retransmits.
+    pub backoff: f64,
+    /// Total transmission attempts per message (1 initial + retries).
+    pub max_attempts: u32,
+    /// A frame completing more than this long after it was sent is
+    /// discarded as stale (s).
+    pub stale_after: f64,
+    /// Peer drops from `Synced` to `Degraded` when no frame has completed
+    /// for this long (s).
+    pub degraded_after: f64,
+    /// Peer drops to `Lost` when no frame has completed for this long (s).
+    pub lost_after: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            mtu: 1200,
+            ack_timeout: 0.06,
+            backoff: 2.0,
+            max_attempts: 4,
+            stale_after: 0.45,
+            degraded_after: 1.0,
+            lost_after: 3.0,
+        }
+    }
+}
+
+/// Peer link health, derived from received-frame recency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// No frame has ever completed.
+    Discovering,
+    /// Frames are arriving at the expected cadence.
+    Synced,
+    /// The last frame is older than the degraded threshold; the receiver
+    /// should be falling back to tracking/ego-only operation.
+    Degraded,
+    /// The peer has effectively disappeared.
+    Lost,
+}
+
+/// A fully reassembled, fresh message handed up to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedMessage {
+    /// Sender's sequence number.
+    pub msg_id: u32,
+    /// Sender's virtual send time (carried in-band).
+    pub sent_at: f64,
+    /// Virtual time the final chunk arrived.
+    pub completed_at: f64,
+    /// End-to-end message latency (s).
+    pub latency: f64,
+    /// The reassembled application payload.
+    pub payload: Vec<u8>,
+}
+
+/// Session lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Messages offered for transmission.
+    pub messages_sent: usize,
+    /// Messages fully reassembled and delivered upward.
+    pub messages_delivered: usize,
+    /// Messages reassembled too late and discarded.
+    pub messages_stale: usize,
+    /// Outgoing messages abandoned after the retry budget.
+    pub messages_abandoned: usize,
+    /// Whole-message retransmissions performed.
+    pub retransmits: usize,
+    /// Acks sent for fully reassembled messages (including re-acks when
+    /// duplicates of a completed message arrive).
+    pub acks_sent: usize,
+    /// Datagrams that failed codec validation.
+    pub corrupt_datagrams: usize,
+    /// Data datagrams ignored as duplicates of completed messages.
+    pub duplicate_datagrams: usize,
+}
+
+#[derive(Debug)]
+struct PendingMessage {
+    msg_id: u32,
+    datagrams: Vec<Vec<u8>>,
+    attempts: u32,
+    next_retry: f64,
+}
+
+#[derive(Debug)]
+struct Reassembly {
+    chunks: Vec<Option<Vec<u8>>>,
+    received: usize,
+    started_at: f64,
+}
+
+/// One side of a V2V session (see the [module docs](self)).
+#[derive(Debug)]
+pub struct LinkEndpoint {
+    config: SessionConfig,
+    next_msg_id: u32,
+    pending: Vec<PendingMessage>,
+    reassembly: HashMap<u32, Reassembly>,
+    /// Recently completed incoming msg_ids (ring-buffered) so duplicate or
+    /// retransmitted chunks of an already-delivered message are ignored.
+    completed: Vec<u32>,
+    last_complete_at: Option<f64>,
+    stats: SessionStats,
+}
+
+/// How many completed msg_ids the duplicate filter remembers.
+const COMPLETED_MEMORY: usize = 64;
+
+impl LinkEndpoint {
+    /// Creates an endpoint.
+    pub fn new(config: SessionConfig) -> Self {
+        LinkEndpoint {
+            config,
+            next_msg_id: 0,
+            pending: Vec::new(),
+            reassembly: HashMap::new(),
+            completed: Vec::new(),
+            last_complete_at: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The session parameters.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Peer health as of virtual time `now`.
+    pub fn peer_state(&self, now: f64) -> PeerState {
+        match self.last_complete_at {
+            None => PeerState::Discovering,
+            Some(t) => {
+                let age = now - t;
+                if age > self.config.lost_after {
+                    PeerState::Lost
+                } else if age > self.config.degraded_after {
+                    PeerState::Degraded
+                } else {
+                    PeerState::Synced
+                }
+            }
+        }
+    }
+
+    /// Sends an application payload: stamps it with `now`, chunks it, and
+    /// offers every datagram to `tx`. Returns the assigned sequence number.
+    pub fn send_message(&mut self, now: f64, payload: &[u8], tx: &mut SimChannel) -> u32 {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        // In-band sender timestamp: staleness must survive reassembly on
+        // the far side without a side channel.
+        let mut stamped = Vec::with_capacity(8 + payload.len());
+        stamped.extend_from_slice(&now.to_le_bytes());
+        stamped.extend_from_slice(payload);
+        let datagrams = encode_message(msg_id, &stamped, self.config.mtu);
+        for d in &datagrams {
+            tx.send(now, d.clone());
+        }
+        self.stats.messages_sent += 1;
+        self.pending.push(PendingMessage {
+            msg_id,
+            datagrams,
+            attempts: 1,
+            next_retry: now + self.config.ack_timeout,
+        });
+        msg_id
+    }
+
+    /// Drives the session at virtual time `now`: drains `rx` (acks clear
+    /// pending messages; data chunks are acked into `tx` and reassembled),
+    /// fires due retransmissions into `tx`, and expires dead reassembly
+    /// buffers. Returns every fresh message that completed.
+    pub fn pump(
+        &mut self,
+        now: f64,
+        rx: &mut SimChannel,
+        tx: &mut SimChannel,
+    ) -> Vec<ReceivedMessage> {
+        let mut delivered = Vec::new();
+        for (at, bytes) in rx.poll(now) {
+            match decode_datagram(&bytes) {
+                Err(_) => self.stats.corrupt_datagrams += 1,
+                Ok(d) => match d.kind {
+                    DatagramKind::Ack => {
+                        self.pending.retain(|p| p.msg_id != d.msg_id);
+                    }
+                    DatagramKind::Data => {
+                        if let Some(msg) = self.accept_chunk(at, d, tx) {
+                            delivered.push(msg);
+                        }
+                    }
+                },
+            }
+        }
+        self.retransmit_due(now, tx);
+        self.expire_buffers(now);
+        delivered
+    }
+
+    fn accept_chunk(
+        &mut self,
+        at: f64,
+        d: Datagram,
+        tx: &mut SimChannel,
+    ) -> Option<ReceivedMessage> {
+        // Acks mean "I have the whole message" — they are only sent once
+        // reassembly completes. Acking individual chunks would let the
+        // sender clear its pending entry after one of many chunks landed
+        // and never retransmit the rest.
+        if self.completed.contains(&d.msg_id) {
+            // Re-ack duplicates of completed messages: the original ack
+            // may have been the datagram the channel dropped.
+            tx.send(at, encode_ack(d.msg_id));
+            self.stats.acks_sent += 1;
+            self.stats.duplicate_datagrams += 1;
+            return None;
+        }
+        let count = d.chunk_count as usize;
+        let entry = self.reassembly.entry(d.msg_id).or_insert_with(|| Reassembly {
+            chunks: vec![None; count],
+            received: 0,
+            started_at: at,
+        });
+        if entry.chunks.len() != count {
+            // Chunk count disagrees with the buffer: a stale collision on a
+            // wrapped msg_id. Start over with the new geometry.
+            *entry = Reassembly { chunks: vec![None; count], received: 0, started_at: at };
+        }
+        let slot = &mut entry.chunks[d.chunk_index as usize];
+        if slot.is_none() {
+            *slot = Some(d.payload);
+            entry.received += 1;
+        } else {
+            self.stats.duplicate_datagrams += 1;
+        }
+        if entry.received < count {
+            return None;
+        }
+
+        let entry = self.reassembly.remove(&d.msg_id).expect("buffer exists");
+        self.remember_completed(d.msg_id);
+        tx.send(at, encode_ack(d.msg_id));
+        self.stats.acks_sent += 1;
+        let mut stamped = Vec::new();
+        for chunk in entry.chunks {
+            stamped.extend_from_slice(&chunk.expect("all chunks received"));
+        }
+        if stamped.len() < 8 {
+            self.stats.corrupt_datagrams += 1;
+            return None;
+        }
+        let sent_at = f64::from_le_bytes(stamped[..8].try_into().expect("8 bytes"));
+        let latency = at - sent_at;
+        if latency > self.config.stale_after {
+            self.stats.messages_stale += 1;
+            return None;
+        }
+        self.stats.messages_delivered += 1;
+        self.last_complete_at = Some(at);
+        Some(ReceivedMessage {
+            msg_id: d.msg_id,
+            sent_at,
+            completed_at: at,
+            latency,
+            payload: stamped[8..].to_vec(),
+        })
+    }
+
+    fn remember_completed(&mut self, msg_id: u32) {
+        if self.completed.len() >= COMPLETED_MEMORY {
+            self.completed.remove(0);
+        }
+        self.completed.push(msg_id);
+    }
+
+    fn retransmit_due(&mut self, now: f64, tx: &mut SimChannel) {
+        let cfg = self.config;
+        let stats = &mut self.stats;
+        self.pending.retain_mut(|p| {
+            if p.next_retry > now {
+                return true;
+            }
+            if p.attempts >= cfg.max_attempts {
+                stats.messages_abandoned += 1;
+                return false;
+            }
+            for d in &p.datagrams {
+                tx.send(now, d.clone());
+            }
+            stats.retransmits += 1;
+            p.attempts += 1;
+            p.next_retry = now + cfg.ack_timeout * cfg.backoff.powi(p.attempts as i32 - 1);
+            true
+        });
+    }
+
+    fn expire_buffers(&mut self, now: f64) {
+        // A buffer that has been incomplete for longer than the staleness
+        // window can never deliver a fresh frame; reclaim it.
+        self.reassembly.retain(|_, r| now - r.started_at <= self.config.stale_after);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelConfig;
+
+    fn ideal_pair(seed: u64) -> (SimChannel, SimChannel) {
+        (
+            SimChannel::new(ChannelConfig::ideal(), seed),
+            SimChannel::new(ChannelConfig::ideal(), seed ^ 1),
+        )
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn message_roundtrip_over_ideal_channels() {
+        let mut a = LinkEndpoint::new(SessionConfig::default());
+        let mut b = LinkEndpoint::new(SessionConfig::default());
+        let (mut ab, mut ba) = ideal_pair(1);
+        let p = payload(5000);
+        let id = a.send_message(0.0, &p, &mut ab);
+        let got = b.pump(0.01, &mut ab, &mut ba);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].msg_id, id);
+        assert_eq!(got[0].payload, p);
+        assert_eq!(got[0].sent_at, 0.0);
+        // The ack comes back and clears the pending entry.
+        assert!(a.pump(0.02, &mut ba, &mut ab).is_empty());
+        assert_eq!(a.pending.len(), 0);
+        assert_eq!(b.stats().messages_delivered, 1);
+    }
+
+    #[test]
+    fn lost_chunk_is_recovered_by_retransmission() {
+        // Forward channel drops everything at first, then heals.
+        let cfg = SessionConfig::default();
+        let mut a = LinkEndpoint::new(cfg);
+        let mut b = LinkEndpoint::new(cfg);
+        let mut ab = SimChannel::new(ChannelConfig { loss: 1.0, ..ChannelConfig::ideal() }, 2);
+        let mut ba = SimChannel::new(ChannelConfig::ideal(), 3);
+        let p = payload(300);
+        a.send_message(0.0, &p, &mut ab);
+        assert!(b.pump(0.02, &mut ab, &mut ba).is_empty());
+        // Heal the channel before the first retransmit timer fires.
+        ab.config_mut().loss = 0.0;
+        a.pump(cfg.ack_timeout + 0.001, &mut ba, &mut ab); // fires retransmit
+        assert_eq!(a.stats().retransmits, 1);
+        let got = b.pump(cfg.ack_timeout + 0.01, &mut ab, &mut ba);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, p);
+    }
+
+    #[test]
+    fn retry_budget_abandons_unreachable_peer() {
+        let cfg = SessionConfig::default();
+        let mut a = LinkEndpoint::new(cfg);
+        let mut ab = SimChannel::new(ChannelConfig { loss: 1.0, ..ChannelConfig::ideal() }, 4);
+        let mut ba = SimChannel::new(ChannelConfig::ideal(), 5);
+        a.send_message(0.0, &payload(100), &mut ab);
+        for k in 1..100 {
+            a.pump(k as f64 * 0.1, &mut ba, &mut ab);
+        }
+        assert_eq!(a.pending.len(), 0);
+        assert_eq!(a.stats().messages_abandoned, 1);
+        assert_eq!(a.stats().retransmits as u32, cfg.max_attempts - 1);
+    }
+
+    #[test]
+    fn stale_message_is_discarded_not_delivered() {
+        let cfg = SessionConfig::default();
+        let mut a = LinkEndpoint::new(cfg);
+        let mut b = LinkEndpoint::new(cfg);
+        // One-second latency: far beyond the staleness window.
+        let mut ab =
+            SimChannel::new(ChannelConfig { latency_mean: 1.0, ..ChannelConfig::ideal() }, 6);
+        let mut ba = SimChannel::new(ChannelConfig::ideal(), 7);
+        a.send_message(0.0, &payload(100), &mut ab);
+        let got = b.pump(1.5, &mut ab, &mut ba);
+        assert!(got.is_empty());
+        assert_eq!(b.stats().messages_stale, 1);
+        // Stale messages do not refresh peer health.
+        assert_eq!(b.peer_state(1.5), PeerState::Discovering);
+    }
+
+    #[test]
+    fn duplicate_datagrams_deliver_once() {
+        let cfg = SessionConfig::default();
+        let mut a = LinkEndpoint::new(cfg);
+        let mut b = LinkEndpoint::new(cfg);
+        let mut ab = SimChannel::new(ChannelConfig { duplicate: 1.0, ..ChannelConfig::ideal() }, 8);
+        let mut ba = SimChannel::new(ChannelConfig::ideal(), 9);
+        a.send_message(0.0, &payload(4000), &mut ab);
+        let got = b.pump(0.1, &mut ab, &mut ba);
+        assert_eq!(got.len(), 1);
+        assert!(b.stats().duplicate_datagrams > 0);
+    }
+
+    #[test]
+    fn peer_state_follows_frame_recency() {
+        let cfg = SessionConfig::default();
+        let mut a = LinkEndpoint::new(cfg);
+        let mut b = LinkEndpoint::new(cfg);
+        let (mut ab, mut ba) = ideal_pair(10);
+        assert_eq!(b.peer_state(0.0), PeerState::Discovering);
+        a.send_message(0.0, &payload(10), &mut ab);
+        b.pump(0.01, &mut ab, &mut ba);
+        assert_eq!(b.peer_state(0.01), PeerState::Synced);
+        assert_eq!(b.peer_state(0.01 + cfg.degraded_after + 0.1), PeerState::Degraded);
+        assert_eq!(b.peer_state(0.01 + cfg.lost_after + 0.1), PeerState::Lost);
+        // A new frame resynchronises.
+        a.send_message(5.0, &payload(10), &mut ab);
+        b.pump(5.01, &mut ab, &mut ba);
+        assert_eq!(b.peer_state(5.01), PeerState::Synced);
+    }
+
+    #[test]
+    fn sequence_numbers_increment_per_message() {
+        let mut a = LinkEndpoint::new(SessionConfig::default());
+        let (mut ab, _) = ideal_pair(11);
+        let ids: Vec<u32> =
+            (0..5).map(|k| a.send_message(k as f64, &payload(10), &mut ab)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

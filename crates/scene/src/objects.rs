@@ -140,11 +140,7 @@ pub const CAR_EXTENTS: Vec3 = Vec3 { x: 4.5, y: 1.9, z: 1.6 };
 
 /// Builds a car-shaped box obstacle at a ground pose.
 pub fn car_box(center_xy: Vec2, yaw: f64) -> Box3 {
-    Box3::new(
-        Vec3::from_xy(center_xy, CAR_EXTENTS.z / 2.0),
-        CAR_EXTENTS,
-        yaw,
-    )
+    Box3::new(Vec3::from_xy(center_xy, CAR_EXTENTS.z / 2.0), CAR_EXTENTS, yaw)
 }
 
 #[cfg(test)]
@@ -185,7 +181,11 @@ mod tests {
 
     #[test]
     fn vehicle_box_only_for_vehicles() {
-        let car = Obstacle::new(ObstacleId(1), ObjectKind::ParkedVehicle, Shape::Box(car_box(Vec2::ZERO, 0.0)));
+        let car = Obstacle::new(
+            ObstacleId(1),
+            ObjectKind::ParkedVehicle,
+            Shape::Box(car_box(Vec2::ZERO, 0.0)),
+        );
         assert!(car.vehicle_box().is_some());
         let bld = Obstacle::new(
             ObstacleId(2),

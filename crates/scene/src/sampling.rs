@@ -84,10 +84,7 @@ mod tests {
         let mut g = GaussianSampler::new();
         let n = 10_000;
         let sigma = 2.5;
-        let var = (0..n)
-            .map(|_| g.sample_scaled(&mut rng, sigma).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = (0..n).map(|_| g.sample_scaled(&mut rng, sigma).powi(2)).sum::<f64>() / n as f64;
         assert!((var - sigma * sigma).abs() < 0.4, "variance {var}");
     }
 

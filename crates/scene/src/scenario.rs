@@ -242,7 +242,7 @@ impl Scenario {
         // that irregularity is what makes BV images matchable (a perfectly
         // repetitive facade row aliases under translation). The generator
         // deliberately injects that variety.
-        let per_side = |density: f64| ((density * len / 100.0).round() as usize).max(0);
+        let per_side = |density: f64| (density * len / 100.0).round() as usize;
         // Block structure: density and building style vary along the road
         // in 30–60 m blocks. Without it the corridor is statistically
         // translation-invariant and BV matching aliases onto shifted
@@ -253,7 +253,7 @@ impl Scenario {
             while x < len {
                 let block_len = rng.random_range(30.0..60.0);
                 let mult = match rng.random_range(0..4u32) {
-                    0 => 0.0,  // empty block (parking lot / park)
+                    0 => 0.0, // empty block (parking lot / park)
                     1 => 0.6,
                     2 => 1.2,
                     _ => 2.0, // dense block
@@ -275,7 +275,7 @@ impl Scenario {
                 }
                 r -= w;
             }
-            Some(blocks.last().map(|b| b.1)?)
+            blocks.last().map(|b| b.1)
         };
         for side in [-1.0, 1.0] {
             for _ in 0..per_side(config.building_density) {
@@ -330,12 +330,11 @@ impl Scenario {
                         ObjectKind::Building,
                         Shape::Box(Box3::new(
                             Vec3::from_xy(
-                                base
-                                    + Vec2::new(
-                                        rng.random_range(-0.6..0.6) * width,
-                                        side * rng.random_range(-4.0..4.0),
-                                    )
-                                    .rotated(road.heading_at(x)),
+                                base + Vec2::new(
+                                    rng.random_range(-0.6..0.6) * width,
+                                    side * rng.random_range(-4.0..4.0),
+                                )
+                                .rotated(road.heading_at(x)),
                                 a_height / 2.0,
                             ),
                             Vec3::new(a_width, a_depth, a_height),
@@ -603,11 +602,7 @@ mod tests {
     #[test]
     fn highway_has_barriers() {
         let hw = Scenario::generate(&ScenarioConfig::preset(ScenarioPreset::Highway), 2);
-        assert!(hw
-            .world()
-            .static_obstacles()
-            .iter()
-            .any(|o| o.kind == ObjectKind::Barrier));
+        assert!(hw.world().static_obstacles().iter().any(|o| o.kind == ObjectKind::Barrier));
     }
 
     #[test]
@@ -637,8 +632,8 @@ mod tests {
 
     #[test]
     fn opposite_heading_flips_yaw() {
-        let mut cfg = ScenarioConfig::default();
-        cfg.agent_heading = AgentHeading::Opposite;
+        let cfg =
+            ScenarioConfig { agent_heading: AgentHeading::Opposite, ..ScenarioConfig::default() };
         let s = Scenario::generate(&cfg, 4);
         let rel = s.true_relative_pose(0.0);
         assert!((rel.yaw().abs() - std::f64::consts::PI).abs() < 1e-6);

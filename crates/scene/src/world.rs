@@ -85,9 +85,7 @@ impl World {
     pub fn snapshot_at_excluding(&self, t: f64, exclude: ObstacleId) -> Vec<Obstacle> {
         let mut out: Vec<Obstacle> =
             self.statics.iter().filter(|o| o.id != exclude).cloned().collect();
-        out.extend(
-            self.dynamics.iter().filter(|d| d.id != exclude).map(|d| d.obstacle_at(t)),
-        );
+        out.extend(self.dynamics.iter().filter(|d| d.id != exclude).map(|d| d.obstacle_at(t)));
         out
     }
 

@@ -272,9 +272,7 @@ mod tests {
 
     #[test]
     fn parseval_energy_conserved() {
-        let x: Vec<Complex> = (0..128)
-            .map(|i| Complex::new((i as f64).sin(), 0.0))
-            .collect();
+        let x: Vec<Complex> = (0..128).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
         let time_energy: f64 = x.iter().map(|z| z.norm_sq()).sum();
         let mut f = x.clone();
         fft_inplace(&mut f).unwrap();

@@ -21,9 +21,8 @@ use crate::grid::Grid;
 pub fn gaussian_kernel(sigma: f64) -> Vec<f64> {
     assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive, got {sigma}");
     let radius = (3.0 * sigma).ceil() as isize;
-    let mut k: Vec<f64> = (-radius..=radius)
-        .map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp())
-        .collect();
+    let mut k: Vec<f64> =
+        (-radius..=radius).map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp()).collect();
     let total: f64 = k.iter().sum();
     for x in &mut k {
         *x /= total;

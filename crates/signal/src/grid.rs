@@ -146,12 +146,8 @@ impl<T> Grid<T> {
     }
 
     /// Maps every cell through `f`, producing a new grid of the same shape.
-    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Grid<U> {
-        Grid {
-            width: self.width,
-            height: self.height,
-            data: self.data.iter().map(|t| f(t)).collect(),
-        }
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Grid<U> {
+        Grid { width: self.width, height: self.height, data: self.data.iter().map(f).collect() }
     }
 }
 

@@ -43,6 +43,6 @@ pub use complex::Complex;
 pub use fft::{fft2d, fft2d_inverse, fft_inplace, ifft_inplace, FftError};
 pub use filter::{gaussian_blur, gaussian_kernel};
 pub use grid::Grid;
-pub use pgm::{encode_pgm, write_pgm};
 pub use loggabor::{LogGaborBank, LogGaborConfig};
 pub use mim::MaxIndexMap;
+pub use pgm::{encode_pgm, write_pgm};

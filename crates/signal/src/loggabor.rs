@@ -78,10 +78,7 @@ impl LogGaborConfig {
         assert!(self.num_orientations >= 2, "need at least two orientations");
         assert!(self.min_wavelength >= 2.0, "min wavelength below Nyquist (2 px)");
         assert!(self.mult > 1.0, "scale multiplier must exceed 1");
-        assert!(
-            self.sigma_on_f > 0.0 && self.sigma_on_f < 1.0,
-            "sigma_on_f must be in (0, 1)"
-        );
+        assert!(self.sigma_on_f > 0.0 && self.sigma_on_f < 1.0, "sigma_on_f must be in (0, 1)");
         assert!(self.d_theta_on_sigma > 0.0, "d_theta_on_sigma must be positive");
     }
 }
@@ -308,12 +305,8 @@ mod tests {
         let amps = bank.orientation_amplitudes(&img).unwrap();
         // Response at the line centre, per orientation.
         let responses: Vec<f64> = amps.iter().map(|a| a[(32, 32)]).collect();
-        let best = responses
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best =
+            responses.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         // A line along v varies along u (the x direction): its frequency
         // content lies on the horizontal frequency axis, i.e. θ≈0.
         let angle = cfg.orientation_angle(best);

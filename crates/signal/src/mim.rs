@@ -59,9 +59,7 @@ impl MaxIndexMap {
     /// Panics if the image shape differs from the bank's, or the dimensions
     /// are not powers of two.
     pub fn compute_with_bank(img: &Grid<f64>, bank: &LogGaborBank) -> MaxIndexMap {
-        let amps = bank
-            .orientation_amplitudes(img)
-            .expect("BV images are power-of-two sized");
+        let amps = bank.orientation_amplitudes(img).expect("BV images are power-of-two sized");
         let w = img.width();
         let h = img.height();
         let mut index = Grid::new(w, h, 0u8);

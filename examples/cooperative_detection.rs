@@ -39,10 +39,8 @@ fn main() {
             pair.other.scan.points().iter().map(|p| p.position),
             pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
         );
-        let recovered = aligner
-            .recover(&ego, &other, &mut rng)
-            .map(|r| r.transform)
-            .unwrap_or(corrupted);
+        let recovered =
+            aligner.recover(&ego, &other, &mut rng).map(|r| r.transform).unwrap_or(corrupted);
         pool.push((pair, corrupted, recovered));
     }
 
@@ -65,13 +63,9 @@ fn main() {
                 .collect();
             aps.push(average_precision(&frames, 0.5).ap * 100.0);
         }
-        println!(
-            "{:<14} {:>11.1}  {:>11.1}  {:>11.1}",
-            method.name(),
-            aps[0],
-            aps[1],
-            aps[2]
-        );
+        println!("{:<14} {:>11.1}  {:>11.1}  {:>11.1}", method.name(), aps[0], aps[1], aps[2]);
     }
-    println!("\n(AP@IoU=0.5, higher is better — recovery should sit close to the true-pose column)");
+    println!(
+        "\n(AP@IoU=0.5, higher is better — recovery should sit close to the true-pose column)"
+    );
 }

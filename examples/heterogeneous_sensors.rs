@@ -27,7 +27,9 @@ fn main() {
     cfg.other_lidar = LidarConfig::low_res_16();
     println!(
         "ego: {} channels / {:.0} m range; other: {} channels / {:.0} m range\n",
-        cfg.ego_lidar.channels, cfg.ego_lidar.max_range, cfg.other_lidar.channels,
+        cfg.ego_lidar.channels,
+        cfg.ego_lidar.max_range,
+        cfg.other_lidar.channels,
         cfg.other_lidar.max_range
     );
 

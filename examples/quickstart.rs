@@ -53,11 +53,7 @@ fn main() {
             let (dt, dr) = recovery.transform.error_to(&pair.true_relative);
             println!("\nground truth : {}", pair.true_relative);
             println!("recovered    : {}", recovery.transform);
-            println!(
-                "error        : {:.2} m translation, {:.2}° rotation",
-                dt,
-                dr.to_degrees()
-            );
+            println!("error        : {:.2} m translation, {:.2}° rotation", dt, dr.to_degrees());
             println!(
                 "diagnostics  : Inliers_bv = {}, Inliers_box = {}, success = {}",
                 recovery.inliers_bv(),

@@ -32,10 +32,8 @@ fn total_sensor_outage_reports_no_keypoints() {
     assert!(scan.is_empty());
 
     let aligner = engine();
-    let dead = aligner.frame_from_parts(
-        scan.points().iter().map(|p| p.position),
-        std::iter::empty(),
-    );
+    let dead =
+        aligner.frame_from_parts(scan.points().iter().map(|p| p.position), std::iter::empty());
     let err = aligner.recover(&dead, &dead, &mut rng).unwrap_err();
     assert!(matches!(err, RecoverError::NoKeypoints { .. }), "got {err}");
 }
@@ -52,10 +50,8 @@ fn empty_world_scan_produces_only_ground() {
     assert!(scan.points().iter().all(|p| p.target.is_none()));
 
     let aligner = engine();
-    let frame = aligner.frame_from_parts(
-        scan.points().iter().map(|p| p.position),
-        std::iter::empty(),
-    );
+    let frame =
+        aligner.frame_from_parts(scan.points().iter().map(|p| p.position), std::iter::empty());
     assert_eq!(frame.bev().occupancy(), 0.0, "ground must not rasterise");
 }
 
@@ -111,14 +107,10 @@ fn stage2_with_zero_boxes_falls_back_to_stage1() {
     let pair = ds.next_pair().unwrap();
     let aligner = engine();
     // Strip every detection: stage 2 cannot run.
-    let ego = aligner.frame_from_parts(
-        pair.ego.scan.points().iter().map(|p| p.position),
-        std::iter::empty(),
-    );
-    let other = aligner.frame_from_parts(
-        pair.other.scan.points().iter().map(|p| p.position),
-        std::iter::empty(),
-    );
+    let ego = aligner
+        .frame_from_parts(pair.ego.scan.points().iter().map(|p| p.position), std::iter::empty());
+    let other = aligner
+        .frame_from_parts(pair.other.scan.points().iter().map(|p| p.position), std::iter::empty());
     let mut rng = StdRng::seed_from_u64(5);
     if let Ok(r) = aligner.recover(&ego, &other, &mut rng) {
         assert!(r.box_alignment.is_none());

@@ -15,13 +15,8 @@ fn scan_scenario(preset: ScenarioPreset, seed: u64) -> (Scenario, bba_lidar::Sca
     let scenario = Scenario::generate(&ScenarioConfig::preset(preset), seed);
     let scanner = Scanner::new(LidarConfig::test_coarse());
     let mut rng = StdRng::seed_from_u64(seed);
-    let scan = scanner.scan(
-        scenario.world(),
-        scenario.ego_trajectory(),
-        0.0,
-        scenario.ego_id(),
-        &mut rng,
-    );
+    let scan =
+        scanner.scan(scenario.world(), scenario.ego_trajectory(), 0.0, scenario.ego_id(), &mut rng);
     (scenario, scan)
 }
 
@@ -120,10 +115,7 @@ fn detections_follow_scan_evidence() {
     // Every true-positive detection corresponds to an object the scan hit.
     for det in &pair.ego.detections {
         if let Some(id) = det.truth {
-            assert!(
-                pair.ego.scan.hits_on(id) >= 3,
-                "detection of {id} without scan evidence"
-            );
+            assert!(pair.ego.scan.hits_on(id) >= 3, "detection of {id} without scan evidence");
         }
     }
 }

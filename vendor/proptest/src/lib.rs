@@ -1,0 +1,617 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the strategy/`proptest!` subset its property tests use.
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs'
+//!   `Debug` representation instead of a minimised counterexample.
+//! * **Deterministic seeding** — each test derives its RNG seed from the
+//!   test function's name, so failures reproduce exactly across runs.
+//! * Default case count is 64 (the real crate's 256), tuned for this
+//!   workspace's simulation-heavy properties; per-test
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` works as usual.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// The RNG handed to strategies (a seeded xoshiro256++).
+pub type TestRng = StdRng;
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not apply.
+    Reject,
+}
+
+/// Result of executing one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of test values.
+///
+/// `generate` returns `None` when a filter rejected the draw; the runner
+/// retries with fresh randomness.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (`whence` labels the filter in
+    /// exhaustion panics).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Combines map and filter: keeps `Some` results of `f`.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, whence, f }
+    }
+
+    /// Generates a strategy from each value, then draws from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// The generator closure a [`BoxedStrategy`] wraps.
+type BoxedGenerator<T> = Box<dyn Fn(&mut TestRng) -> Option<T>>;
+
+/// A type-erased strategy (a boxed generator closure).
+pub struct BoxedStrategy<T>(BoxedGenerator<T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (the [`prop_oneof!`] target).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let idx = rng.random_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.random_range(self.clone()))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        Some(rng.random_range(self.clone()))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A full-domain strategy for a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => $gen:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                #[allow(clippy::redundant_closure_call)]
+                Some(($gen)(rng))
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy { AnyPrimitive(std::marker::PhantomData) }
+        }
+    )*};
+}
+impl_arbitrary! {
+    bool => |rng: &mut TestRng| rng.random::<bool>();
+    u8 => |rng: &mut TestRng| rng.random::<u8>();
+    u16 => |rng: &mut TestRng| rng.random::<u16>();
+    u32 => |rng: &mut TestRng| rng.random::<u32>();
+    u64 => |rng: &mut TestRng| rng.random::<u64>();
+    usize => |rng: &mut TestRng| rng.random::<usize>();
+    i8 => |rng: &mut TestRng| rng.random::<i8>();
+    i16 => |rng: &mut TestRng| rng.random::<i16>();
+    i32 => |rng: &mut TestRng| rng.random::<i32>();
+    i64 => |rng: &mut TestRng| rng.random::<i64>();
+    f32 => |rng: &mut TestRng| (rng.random::<f32>() - 0.5) * 2e6;
+    f64 => |rng: &mut TestRng| (rng.random::<f64>() - 0.5) * 2e12;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` draws with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = if self.size.0.len() <= 1 {
+                self.size.0.start
+            } else {
+                rng.random_range(self.size.0.clone())
+            };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports matching the real crate's module layout.
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod test_runner {
+    //! Runner types (subset).
+    pub use super::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+}
+
+pub mod prelude {
+    //! The glob-import surface used by test files.
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+    /// Alias module so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Derives a deterministic seed from a test's name.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: draws inputs until `cases` accepted executions
+/// pass, panicking on the first failure.
+///
+/// The closure returns `None` when generation was rejected (filter), and
+/// `Some(result)` after running the body.
+///
+/// # Panics
+///
+/// Panics when the property fails or when generation/assumption rejection
+/// exhausts the retry budget.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Option<TestCaseResult>,
+) {
+    let mut rng = TestRng::seed_from_u64(seed_from_name(name));
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let budget = config.cases as u64 * 100 + 1000;
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= budget,
+            "proptest `{name}`: too many rejected cases \
+             ({accepted}/{} accepted after {attempts} attempts)",
+            config.cases
+        );
+        match case(&mut rng) {
+            None | Some(Err(TestCaseError::Reject)) => continue,
+            Some(Ok(())) => accepted += 1,
+            Some(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest `{name}` failed: {msg}")
+            }
+        }
+    }
+}
+
+/// Formats generated inputs for failure messages.
+pub fn format_inputs(pairs: &[(&str, &dyn Debug)]) -> String {
+    pairs.iter().map(|(n, v)| format!("{n} = {v:?}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Asserts a condition inside a `proptest!` body (returns a failure
+/// instead of panicking, so the runner can report the inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}: {}",
+                    ::std::stringify!($cond), ::std::format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`: {}",
+                    __a, __b, ::std::format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if __a == __b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests (see the crate docs for supported forms).
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    // Entry without config.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+    // One test function + recursion.
+    (@tests ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(&__config, ::std::stringify!($name), |__rng| {
+                $crate::proptest!(@draw __rng, ($($params)*));
+                let __outcome: $crate::TestCaseResult = (|| { $body ::std::result::Result::Ok(()) })();
+                ::std::option::Option::Some(__outcome)
+            });
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr)) => {};
+    // Draw bindings: `pat in strategy`, comma separated.
+    (@draw $rng:ident, ($pat:pat in $strategy:expr $(,)?)) => {
+        let $pat = match $crate::Strategy::generate(&($strategy), $rng) {
+            ::std::option::Option::Some(v) => v,
+            ::std::option::Option::None => return ::std::option::Option::None,
+        };
+    };
+    (@draw $rng:ident, ($pat:pat in $strategy:expr, $($rest:tt)+)) => {
+        let $pat = match $crate::Strategy::generate(&($strategy), $rng) {
+            ::std::option::Option::Some(v) => v,
+            ::std::option::Option::None => return ::std::option::Option::None,
+        };
+        $crate::proptest!(@draw $rng, ($($rest)+));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = (0.0..1.0f64, 0..10u32);
+        for _ in 0..100 {
+            let (x, k) = crate::Strategy::generate(&s, &mut rng).unwrap();
+            assert!((0.0..1.0).contains(&x));
+            assert!(k < 10);
+        }
+    }
+
+    #[test]
+    fn seed_is_stable_per_name() {
+        assert_eq!(crate::seed_from_name("abc"), crate::seed_from_name("abc"));
+        assert_ne!(crate::seed_from_name("abc"), crate::seed_from_name("abd"));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_and_asserts(x in 0.0..1.0f64, k in 0usize..5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(k < 5, "k was {}", k);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_and_filters_work(v in prop::collection::vec(0.0..10.0f64, 1..5)) {
+            prop_assume!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn oneof_and_map_work(x in prop_oneof![Just(1u32), Just(2u32)], y in (0..3u32).prop_map(|v| v * 10)) {
+            prop_assert!(x == 1 || x == 2);
+            prop_assert!(y % 10 == 0 && y < 30);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serialization framework with the same *spelling* as serde —
+//! `#[derive(Serialize, Deserialize)]`, `use serde::{Serialize,
+//! Deserialize}` — but a much simpler model: every value converts to/from
+//! a [`Value`] tree, and `serde_json` (also vendored) prints/parses that
+//! tree. There is no visitor machinery, zero-copy, or `#[serde(...)]`
+//! attribute support (the workspace uses none).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every serializable type converts to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also `Option::None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (JSON array).
+    Seq(Vec<Value>),
+    /// A key-ordered map (JSON object). Order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] cannot be converted to the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to its value-tree representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a struct field in a map value (derive-generated code calls
+/// this).
+///
+/// # Errors
+///
+/// Returns [`Error`] when `v` is not a map or lacks `key`.
+pub fn map_get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error(format!("missing field `{key}`"))),
+        other => Err(Error(format!("expected map for field `{key}`, got {other:?}"))),
+    }
+}
+
+/// Fetches element `i` of a sequence value (derive-generated code for
+/// tuple structs calls this).
+///
+/// # Errors
+///
+/// Returns [`Error`] when `v` is not a sequence or is too short.
+pub fn seq_get(v: &Value, i: usize) -> Result<&Value, Error> {
+    match v {
+        Value::Seq(items) => {
+            items.get(i).ok_or_else(|| Error(format!("sequence too short (need index {i})")))
+        }
+        other => Err(Error(format!("expected sequence, got {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(Error(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) if *i >= 0 => Ok(*i as $t),
+                    other => Err(Error(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as f64;
+                if x.is_finite() { Value::Float(x) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items.try_into().map_err(|_| Error(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(seq_get(v, $idx)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(i32::from_value(&(-3i32).to_value()).unwrap(), -3);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<(f64, f64)> = Some((1.0, 2.0));
+        assert_eq!(Option::<(f64, f64)>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&n.to_value()).unwrap(), n);
+        let a = [1u32, 2, 3];
+        assert_eq!(<[u32; 3]>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert!(map_get(&v, "a").is_ok());
+        assert!(map_get(&v, "b").is_err());
+        assert!(seq_get(&v, 0).is_err());
+    }
+}

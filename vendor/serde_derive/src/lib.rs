@@ -1,0 +1,490 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` value-tree model without depending on `syn`/`quote`
+//! (unavailable offline): the item definition is parsed directly from the
+//! proc-macro token stream. Supported shapes — exactly what this
+//! workspace uses:
+//!
+//! * named-field structs (optionally generic, e.g. `Grid<T>`),
+//! * tuple structs (newtype semantics for one field),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants.
+//!
+//! `#[serde(...)]` attributes are **not** supported (none exist in the
+//! workspace); all other attributes (docs, `#[default]`, …) are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input).expect("serde_derive: unsupported item shape");
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("serde_derive: generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` / `#![...]` attribute groups.
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Punct(p)) = self.peek() {
+                        if p.as_char() == '!' {
+                            self.pos += 1;
+                        }
+                    }
+                    // The bracketed attribute body.
+                    self.pos += 1;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Option<String> {
+        match self.next()? {
+            TokenTree::Ident(id) => Some(id.to_string()),
+            _ => None,
+        }
+    }
+
+    /// If positioned at `<`, consumes a generic parameter list and returns
+    /// the type-parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => self.pos += 1,
+            _ => return params,
+        }
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while let Some(tt) = self.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    // Lifetime: consume its ident, do not record.
+                    self.pos += 1;
+                    at_param_start = false;
+                }
+                TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        params.push(s);
+                        at_param_start = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        params
+    }
+}
+
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    let generics = c.parse_generics();
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Some(Item { name, generics, body: Body::Struct(fields) })
+        }
+        "enum" => {
+            let body = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                _ => return None,
+            };
+            Some(Item { name, generics, body: Body::Enum(body) })
+        }
+        _ => None,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Fields {
+    let mut c = Cursor::new(ts);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        let Some(name) = c.expect_ident() else { break };
+        names.push(name);
+        // Skip `:` then the type, up to a top-level `,` (angle-bracket
+        // depth aware; parenthesised/bracketed types are atomic groups).
+        let mut depth = 0usize;
+        loop {
+            match c.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in ts {
+        any = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let Some(name) = c.expect_ident() else { break };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip to the next variant: explicit discriminants (`= expr`) and
+        // the separating comma.
+        loop {
+            match c.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    c.pos += 1;
+                    break;
+                }
+                None => break,
+                _ => c.pos += 1,
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+        let plain = item.generics.join(", ");
+        format!("impl<{}> ::serde::{trait_name} for {}<{plain}> ", bounded.join(", "), item.name)
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(Fields::Named(names)) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value(&self.{n}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let ty = &item.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{ty}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{ty}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let binds: Vec<String> =
+                                names.iter().map(|n| format!("{n}: __f_{n}")).collect();
+                            let vals: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(::std::string::String::from(\"{n}\"), \
+                                         ::serde::Serialize::to_value(__f_{n}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(names)) => {
+            let fields: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{n}: ::serde::Deserialize::from_value(::serde::map_get(__v, \"{n}\")?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({ty} {{ {} }})", fields.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({ty}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let fields: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(::serde::seq_get(__v, {i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({ty}({}))", fields.join(", "))
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({ty})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({ty}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({ty}::{vname}(\
+                             ::serde::Deserialize::from_value(__val)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let fields: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         ::serde::seq_get(__val, {i})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({ty}::{vname}({})),",
+                                fields.join(", ")
+                            ))
+                        }
+                        Fields::Named(names) => {
+                            let fields: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "{n}: ::serde::Deserialize::from_value(\
+                                         ::serde::map_get(__val, \"{n}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({ty}::{vname} {{ {} }}),",
+                                fields.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::Error::msg(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {ty}\"))), \
+                   }}, \
+                   ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                     let (__k, __val) = &__m[0]; \
+                     match __k.as_str() {{ \
+                       {} \
+                       __other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {ty}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"invalid value for enum {ty}: {{__other:?}}\"))), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}

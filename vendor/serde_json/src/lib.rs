@@ -1,0 +1,425 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Prints and parses JSON over the vendored `serde` [`Value`] tree.
+//! Floats are printed with Rust's shortest round-trip `Display`
+//! formatting, so `to_string` → `from_str` reproduces every finite `f64`
+//! exactly (the `float_roundtrip` feature of the real crate is the
+//! default and only behaviour here).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error from serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching the real crate's signature shapes.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for values built from this workspace's types; the `Result`
+/// exists for signature compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a human-readable, 2-space-indented JSON string.
+///
+/// # Errors
+///
+/// Never fails for values built from this workspace's types.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on a shape mismatch.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T> {
+    Ok(T::from_value(v)?)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Rust's Display prints the shortest string that parses
+                // back to the same f64 — exact round-trip.
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep the token a JSON number *and* a float on re-parse.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_compound(out, '[', ']', items.len(), indent, level, |o, i, ind| {
+                write_value(o, &items[i], ind, level + 1)
+            })
+        }
+        Value::Map(entries) => {
+            write_compound(out, '{', '}', entries.len(), indent, level, |o, i, ind| {
+                write_string(o, &entries[i].0);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, &entries[i].1, ind, level + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        item(out, i, indent);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected character at offset {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("invalid escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let x = 0.1f64 + 0.2;
+        let json = to_string(&x).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back, x, "float roundtrip must be exact");
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![(1.5f64, 2usize), (3.25, 4)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(f64, usize)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+        let o: Option<Vec<f64>> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::Int(1), Value::Int(2)])),
+            ("b".into(), Value::Str("x".into())),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  "));
+        let back: Value = from_str(&pretty).unwrap();
+        // Int(1) re-parses as UInt(1); compare via compact printing.
+        assert_eq!(to_string(&back).unwrap(), to_string(&v).unwrap());
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let json = to_string(&2.0f64).unwrap();
+        assert_eq!(json, "2.0");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<f64>("[1,").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<Vec<f64>>("{\"a\":}").is_err());
+    }
+}
