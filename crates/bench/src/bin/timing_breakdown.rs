@@ -4,8 +4,10 @@
 //! BV image matching as future work. This binary measures each phase of
 //! the pipeline on real simulated frames: BV rasterisation, MIM
 //! computation (the FFT-bound phase), keypoints, descriptors + matching +
-//! RANSAC (stage 1), and box alignment (stage 2). See also
-//! `cargo bench -p bba-bench` for Criterion-grade statistics.
+//! RANSAC (stage 1), and box alignment (stage 2). Every phase is timed
+//! twice — under a 1-thread budget and under the full `--threads` budget —
+//! so the table doubles as a scaling report for the `bba-par` substrate.
+//! See also `cargo bench -p bba-bench` for Criterion-grade statistics.
 
 use bb_align::{BbAlign, BbAlignConfig};
 use bba_bench::cli;
@@ -17,81 +19,131 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
+/// Per-phase samples for one thread budget.
+#[derive(Default)]
+struct Samples {
+    bev: Vec<f64>,
+    mim: Vec<f64>,
+    stage1: Vec<f64>,
+    stage2: Vec<f64>,
+    total: Vec<f64>,
+}
+
 fn main() {
     let opts = cli::parse(12, "timing_breakdown — per-stage latency of the recovery pipeline");
+    let threads = opts.threads();
+
+    let mut engine = BbAlignConfig::default();
+    if let Some(n) = opts.bev {
+        // Keep the world extent, coarsen the cells: H = 2R/c.
+        engine.bev.resolution = 2.0 * engine.bev.range / n as f64;
+    }
+    let h = engine.bev.image_size();
     banner(
         "Runtime breakdown of one pose recovery",
-        &format!("{} frame pairs, 256² BV images, single thread", opts.frames),
+        &format!("{} frame pairs, {h}\u{b2} BV images, 1 vs {threads} thread(s)", opts.frames),
     );
 
-    let engine = BbAlignConfig::default();
     let aligner = BbAlign::new(engine.clone());
-    let h = engine.bev.image_size();
     let bank = LogGaborBank::new(h, h, engine.log_gabor.clone());
 
-    let mut t_bev = Vec::new();
-    let mut t_mim = Vec::new();
-    let mut t_stage1 = Vec::new();
-    let mut t_stage2 = Vec::new();
-    let mut t_total = Vec::new();
+    let mut serial = Samples::default();
+    let mut parallel = Samples::default();
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     for s in 0..opts.frames {
         let mut ds = Dataset::new(DatasetConfig::standard(), opts.seed.wrapping_add(s as u64));
         let pair = ds.next_pair().unwrap();
 
-        // BV rasterisation (both cars).
-        let t0 = Instant::now();
-        let ego = aligner.frame_from_parts(
-            pair.ego.scan.points().iter().map(|p| p.position),
-            pair.ego.detections.iter().map(|d| (d.box3, d.confidence)),
-        );
-        let other = aligner.frame_from_parts(
-            pair.other.scan.points().iter().map(|p| p.position),
-            pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
-        );
-        t_bev.push(t0.elapsed().as_secs_f64() * 1e3);
+        // Each budget gets its own rng clone so both runs see the same
+        // stream — the pipelines are bit-identical, only the clock differs.
+        let mut rng_serial = rng.clone();
+        let mut ok = true;
+        for (budget, out, r) in
+            [(1usize, &mut serial, &mut rng_serial), (threads, &mut parallel, &mut rng)]
+        {
+            bba_par::with_threads(budget, || {
+                // BV rasterisation (both cars).
+                let t0 = Instant::now();
+                let ego = aligner.frame_from_parts(
+                    pair.ego.scan.points().iter().map(|p| p.position),
+                    pair.ego.detections.iter().map(|d| (d.box3, d.confidence)),
+                );
+                let other = aligner.frame_from_parts(
+                    pair.other.scan.points().iter().map(|p| p.position),
+                    pair.other.detections.iter().map(|d| (d.box3, d.confidence)),
+                );
+                let ms_bev = t0.elapsed().as_secs_f64() * 1e3;
 
-        // MIM alone (both images) — measured separately because recovery
-        // recomputes it internally.
-        let t0 = Instant::now();
-        let _ = MaxIndexMap::compute_with_bank(ego.bev().grid(), &bank);
-        let _ = MaxIndexMap::compute_with_bank(other.bev().grid(), &bank);
-        t_mim.push(t0.elapsed().as_secs_f64() * 1e3);
+                // MIM alone (both images) — measured separately because
+                // recovery recomputes it internally.
+                let t0 = Instant::now();
+                let (_, _) = bba_par::join(
+                    || MaxIndexMap::compute_with_bank(ego.bev().grid(), &bank),
+                    || MaxIndexMap::compute_with_bank(other.bev().grid(), &bank),
+                );
+                let ms_mim = t0.elapsed().as_secs_f64() * 1e3;
 
-        // Stage 1 (includes its own MIM computation).
-        let t0 = Instant::now();
-        let Ok(bv) = aligner.match_bv(&ego, &other, &mut rng) else {
-            eprintln!("  [pair {s}: stage 1 failed, skipping]");
-            continue;
-        };
-        t_stage1.push(t0.elapsed().as_secs_f64() * 1e3);
+                // Stage 1 (includes its own MIM computation).
+                let t0 = Instant::now();
+                let Ok(bv) = aligner.match_bv(&ego, &other, r) else {
+                    eprintln!("  [pair {s}: stage 1 failed, skipping]");
+                    ok = false;
+                    return;
+                };
+                let ms_stage1 = t0.elapsed().as_secs_f64() * 1e3;
 
-        // Stage 2.
-        let t0 = Instant::now();
-        let _ = aligner.align_boxes(&ego, &other, &bv.transform, &mut rng);
-        t_stage2.push(t0.elapsed().as_secs_f64() * 1e3);
+                // Stage 2.
+                let t0 = Instant::now();
+                let _ = aligner.align_boxes(&ego, &other, &bv.transform, r);
+                let ms_stage2 = t0.elapsed().as_secs_f64() * 1e3;
 
-        t_total.push(t_bev.last().unwrap() + t_stage1.last().unwrap() + t_stage2.last().unwrap());
+                out.bev.push(ms_bev);
+                out.mim.push(ms_mim);
+                out.stage1.push(ms_stage1);
+                out.stage2.push(ms_stage2);
+                out.total.push(ms_bev + ms_stage1 + ms_stage2);
+            });
+            if !ok {
+                break;
+            }
+        }
         if (s + 1) % 4 == 0 {
             eprintln!("  [{}/{} pairs]", s + 1, opts.frames);
         }
     }
 
-    let row = |label: &str, v: &[f64]| {
-        vec![label.to_string(), opt(percentile(v, 50.0), 1), opt(percentile(v, 90.0), 1)]
+    let row = |label: &str, one: &[f64], many: &[f64]| {
+        let speedup = match (percentile(one, 50.0), percentile(many, 50.0)) {
+            (Some(a), Some(b)) if b > 0.0 => format!("{:.2}x", a / b),
+            _ => "-".to_string(),
+        };
+        vec![
+            label.to_string(),
+            opt(percentile(one, 50.0), 1),
+            opt(percentile(one, 90.0), 1),
+            opt(percentile(many, 50.0), 1),
+            speedup,
+        ]
     };
     print_table(&[
-        vec!["phase".to_string(), "median ms".to_string(), "p90 ms".to_string()],
-        row("BV rasterisation (2 cars)", &t_bev),
-        row("Log-Gabor MIM (2 images)", &t_mim),
-        row("stage 1 total (MIM + match + RANSAC)", &t_stage1),
-        row("stage 2 (box alignment)", &t_stage2),
-        row("end-to-end recovery", &t_total),
+        vec![
+            "phase".to_string(),
+            "median ms (1 thr)".to_string(),
+            "p90 ms (1 thr)".to_string(),
+            format!("median ms ({threads} thr)"),
+            "speedup".to_string(),
+        ],
+        row("BV rasterisation (2 cars)", &serial.bev, &parallel.bev),
+        row("Log-Gabor MIM (2 images)", &serial.mim, &parallel.mim),
+        row("stage 1 total (MIM + match + RANSAC)", &serial.stage1, &parallel.stage1),
+        row("stage 2 (box alignment)", &serial.stage2, &parallel.stage2),
+        row("end-to-end recovery", &serial.total, &parallel.total),
     ]);
 
     println!(
         "\nNote: stage 1 dominates (the paper's future-work point); stage 2 is\n\
-         microseconds. The MIM row shows how much of stage 1 is FFT-bound."
+         microseconds. The MIM row shows how much of stage 1 is FFT-bound —\n\
+         the part bba-par parallelises over filters, rows and the two cars."
     );
 }

@@ -152,14 +152,17 @@ pub fn evaluate_vips(pair: &FramePair) -> Option<(f64, f64)> {
 }
 
 /// Runs a pool and returns one record per frame pair.
+///
+/// Scenarios are evaluated in parallel (frame-level parallelism): every
+/// scenario seeds its own dataset and rng from the master seed alone, so
+/// collecting the per-scenario record slices in scenario order reproduces
+/// the serial record stream bit for bit at any thread count.
 pub fn run_pool(cfg: &PoolConfig) -> Vec<PairRecord> {
     let aligner = BbAlign::new(cfg.engine.clone());
-    let mut records = Vec::with_capacity(cfg.frames);
     let per = cfg.frames_per_scenario.max(1);
     let n_scenarios = cfg.frames.div_ceil(per);
 
-    let mut index = 0usize;
-    for s in 0..n_scenarios {
+    let per_scenario: Vec<Vec<PairRecord>> = bba_par::par_map_indices(n_scenarios, |s| {
         let preset = cfg.presets[s % cfg.presets.len().max(1)];
         let mut scenario_cfg = ScenarioConfig::preset(preset);
         if !cfg.separations.is_empty() {
@@ -174,27 +177,27 @@ pub fn run_pool(cfg: &PoolConfig) -> Vec<PairRecord> {
         let mut dataset = Dataset::new(dataset_cfg, cfg.seed.wrapping_add(s as u64 * 7919));
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(0xD129_53FB));
 
-        for _ in 0..per {
-            if index >= cfg.frames {
-                break;
-            }
+        let count = per.min(cfg.frames - s * per);
+        let mut out = Vec::with_capacity(count);
+        for k in 0..count {
+            let index = s * per + k;
             let pair = dataset.next_pair().expect("dataset streams indefinitely");
-            let bb = evaluate_bb_align(&aligner, &pair, &mut rng).map(|(_, s)| s);
+            let bb = evaluate_bb_align(&aligner, &pair, &mut rng).map(|(_, stats)| stats);
             let vips = if cfg.run_vips { evaluate_vips(&pair) } else { None };
-            records.push(PairRecord {
+            out.push(PairRecord {
                 index,
                 distance: pair.distance,
                 common_cars: pair.common_vehicles.len(),
                 bb,
                 vips,
             });
-            index += 1;
-            if cfg.progress && index.is_multiple_of(10) {
-                eprintln!("  [{index}/{} pairs]", cfg.frames);
-            }
         }
-    }
-    records
+        if cfg.progress {
+            eprintln!("  [scenario {}/{n_scenarios} done]", s + 1);
+        }
+        out
+    });
+    per_scenario.into_iter().flatten().collect()
 }
 
 /// Writes the raw per-pair records as pretty JSON when the user passed

@@ -189,10 +189,14 @@ impl BbAlign {
         let cfg = &self.config;
 
         // MIM feature maps (needed for descriptors, and by default also as
-        // the keypoint-detection image).
+        // the keypoint-detection image). The two cars' BV→MIM pipelines are
+        // independent, so they run concurrently; each branch inherits half
+        // the thread budget for its internal filter-bank parallelism.
         let bank = self.bank();
-        let mim_ego = MaxIndexMap::compute_with_bank(ego.bev().grid(), bank);
-        let mim_other = MaxIndexMap::compute_with_bank(other.bev().grid(), bank);
+        let (mim_ego, mim_other) = bba_par::join(
+            || MaxIndexMap::compute_with_bank(ego.bev().grid(), bank),
+            || MaxIndexMap::compute_with_bank(other.bev().grid(), bank),
+        );
 
         // Keypoints.
         let detect = |frame: &PerceptionFrame, mim: &MaxIndexMap| match cfg.keypoint_source {

@@ -103,7 +103,22 @@ pub fn describe_keypoints(
     keypoints: &[Keypoint],
     config: &DescriptorConfig,
 ) -> Vec<Descriptor> {
-    keypoints.iter().filter_map(|kp| describe_one(mim, *kp, config, None)).collect()
+    describe_all(mim, keypoints, config, None)
+}
+
+/// Shared parallel driver: one independent patch per keypoint, collected in
+/// keypoint order and filtered in that order, so the output is identical to
+/// the serial `filter_map` at every thread count.
+fn describe_all(
+    mim: &MaxIndexMap,
+    keypoints: &[Keypoint],
+    config: &DescriptorConfig,
+    rotation_override: Option<f64>,
+) -> Vec<Descriptor> {
+    bba_par::par_map(keypoints, |kp| describe_one(mim, *kp, config, rotation_override))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Computes descriptors with a fixed global patch rotation of `angle`
@@ -119,7 +134,7 @@ pub fn describe_keypoints_rotated(
     config: &DescriptorConfig,
     angle: f64,
 ) -> Vec<Descriptor> {
-    keypoints.iter().filter_map(|kp| describe_one(mim, *kp, config, Some(angle))).collect()
+    describe_all(mim, keypoints, config, Some(angle))
 }
 
 fn describe_one(

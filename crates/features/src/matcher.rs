@@ -68,16 +68,17 @@ pub fn match_descriptors(
         all.into_iter().map(|(j, d)| (j, d.sqrt())).collect()
     };
 
-    // Precompute dst→src best indices for the mutual check.
-    let dst_best: Vec<usize> = if config.mutual {
-        dst.iter().map(|d| nearest(d, src, 1)[0].0).collect()
-    } else {
-        Vec::new()
-    };
+    // Precompute dst→src best indices for the mutual check. Each row of
+    // the distance table is independent, so both directions parallelise
+    // per descriptor; results are collected in index order, and the final
+    // sort is stable, so the match list is bit-identical to the serial
+    // scan at every thread count.
+    let dst_best: Vec<usize> =
+        if config.mutual { bba_par::par_map(dst, |d| nearest(d, src, 1)[0].0) } else { Vec::new() };
 
-    let mut out = Vec::new();
-    for (i, s) in src.iter().enumerate() {
-        let cands = nearest(s, dst, k + 1);
+    let per_src: Vec<Vec<Match>> = bba_par::par_map_indices(src.len(), |i| {
+        let cands = nearest(&src[i], dst, k + 1);
+        let mut out = Vec::new();
         for rank in 0..k.min(cands.len()) {
             let (j, d1) = cands[rank];
             if d1 > config.max_distance {
@@ -95,7 +96,9 @@ pub fn match_descriptors(
             }
             out.push(Match { src: i, dst: j, distance: d1 });
         }
-    }
+        out
+    });
+    let mut out: Vec<Match> = per_src.into_iter().flatten().collect();
     out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
     out
 }

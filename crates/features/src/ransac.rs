@@ -114,32 +114,52 @@ pub fn ransac_rigid<R: Rng + ?Sized>(
     }
 
     let thresh_sq = config.inlier_threshold * config.inlier_threshold;
-    let mut best_inliers: Vec<usize> = Vec::new();
-    let mut iterations = 0usize;
 
-    for it in 0..config.max_iterations {
-        iterations = it + 1;
-        // Minimal sample: two distinct correspondences.
-        let i = rng.random_range(0..n);
-        let mut j = rng.random_range(0..n);
-        if n > 1 {
+    // Minimal samples (two distinct correspondences each) are drawn up
+    // front on the calling thread, so the rng stream is consumed
+    // identically at every thread count; fitting and scoring each
+    // hypothesis is then a pure function of its sample and parallelises
+    // freely.
+    let samples: Vec<(usize, usize)> = (0..config.max_iterations)
+        .map(|_| {
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n);
             while j == i {
                 j = rng.random_range(0..n);
             }
-        }
+            (i, j)
+        })
+        .collect();
+    let score = |&(i, j): &(usize, usize)| -> Option<Vec<usize>> {
         // Degenerate (coincident) samples cannot define a rotation.
         if (src[i] - src[j]).norm_sq() < 1e-12 {
-            continue;
+            return None;
         }
-        let Ok(model) = fit_rigid_2d(&[src[i], src[j]], &[dst[i], dst[j]]) else {
-            continue;
-        };
-        let inliers: Vec<usize> =
-            (0..n).filter(|&k| (model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
-        if inliers.len() > best_inliers.len() {
-            best_inliers = inliers;
-            if best_inliers.len() as f64 >= config.early_exit_fraction * n as f64 {
-                break;
+        let model = fit_rigid_2d(&[src[i], src[j]], &[dst[i], dst[j]]).ok()?;
+        Some((0..n).filter(|&k| (model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect())
+    };
+
+    // Hypotheses are scored in parallel a chunk at a time, but the
+    // best-so-far scan walks them strictly in draw order with the serial
+    // loop's early-exit rule, so the winning consensus set — and the
+    // reported iteration count — are independent of the thread count.
+    // Under a budget of 1 the chunk size is 1: evaluation stays as lazy as
+    // the classic loop and stops at the same iteration.
+    let threads = bba_par::current_threads();
+    let chunk = if threads <= 1 { 1 } else { threads * 8 };
+    let mut best_inliers: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    'eval: for start in (0..samples.len()).step_by(chunk) {
+        let end = (start + chunk).min(samples.len());
+        let scored = bba_par::par_map(&samples[start..end], |s| score(s));
+        for (offset, inliers) in scored.into_iter().enumerate() {
+            iterations = start + offset + 1;
+            let Some(inliers) = inliers else { continue };
+            if inliers.len() > best_inliers.len() {
+                best_inliers = inliers;
+                if best_inliers.len() as f64 >= config.early_exit_fraction * n as f64 {
+                    break 'eval;
+                }
             }
         }
     }

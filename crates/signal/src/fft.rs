@@ -130,25 +130,34 @@ fn fft_unchecked(x: &mut [Complex], inverse: bool) {
 pub fn fft2d(img: &Grid<f64>) -> Result<Grid<Complex>, FftError> {
     check_pow2(img.width())?;
     check_pow2(img.height())?;
-    let w = img.width();
-    let h = img.height();
     let mut spec = img.map(|&x| Complex::from_real(x));
-    // Rows.
-    for v in 0..h {
-        fft_unchecked(&mut spec.as_mut_slice()[v * w..(v + 1) * w], false);
-    }
-    // Columns (gather into a scratch buffer).
-    let mut col = vec![Complex::ZERO; h];
-    for u in 0..w {
-        for v in 0..h {
-            col[v] = spec[(u, v)];
-        }
-        fft_unchecked(&mut col, false);
-        for v in 0..h {
-            spec[(u, v)] = col[v];
-        }
-    }
+    fft2d_passes(&mut spec, false);
     Ok(spec)
+}
+
+/// Row pass then column pass of a 2-D FFT, both parallelised: rows are
+/// disjoint `&mut` slices ([`bba_par::par_for_rows`]); columns are gathered
+/// into per-column scratch buffers ([`bba_par::par_map_indices`], ordered by
+/// column index) and scattered back row by row. Each 1-D transform sees
+/// exactly the serial loop's data, so the result is bit-identical at every
+/// thread count.
+fn fft2d_passes(spec: &mut Grid<Complex>, inverse: bool) {
+    let w = spec.width();
+    let h = spec.height();
+    bba_par::par_for_rows(spec.as_mut_slice(), w, |_, row| fft_unchecked(row, inverse));
+    let cols: Vec<Vec<Complex>> = {
+        let spec = &*spec;
+        bba_par::par_map_indices(w, |u| {
+            let mut col: Vec<Complex> = (0..h).map(|v| spec[(u, v)]).collect();
+            fft_unchecked(&mut col, inverse);
+            col
+        })
+    };
+    bba_par::par_for_rows(spec.as_mut_slice(), w, |v, row| {
+        for (u, z) in row.iter_mut().enumerate() {
+            *z = cols[u][v];
+        }
+    });
 }
 
 /// Inverse 2-D FFT, returning the complex spatial-domain result.
@@ -162,19 +171,7 @@ pub fn fft2d_inverse(spec: &Grid<Complex>) -> Result<Grid<Complex>, FftError> {
     let w = spec.width();
     let h = spec.height();
     let mut out = spec.clone();
-    for v in 0..h {
-        fft_unchecked(&mut out.as_mut_slice()[v * w..(v + 1) * w], true);
-    }
-    let mut col = vec![Complex::ZERO; h];
-    for u in 0..w {
-        for v in 0..h {
-            col[v] = out[(u, v)];
-        }
-        fft_unchecked(&mut col, true);
-        for v in 0..h {
-            out[(u, v)] = col[v];
-        }
-    }
+    fft2d_passes(&mut out, true);
     let scale = 1.0 / (w * h) as f64;
     for z in out.as_mut_slice() {
         *z = z.scale(scale);

@@ -130,41 +130,46 @@ impl LogGaborBank {
             signed as f64 / n as f64
         };
 
-        let mut filters = Vec::with_capacity(config.num_orientations);
-        for o in 0..config.num_orientations {
+        // Every (orientation, scale) transfer function is independent:
+        // build the flattened pair list in parallel (ordered by pair
+        // index), then regroup per orientation.
+        let pairs: Vec<(usize, usize)> = (0..config.num_orientations)
+            .flat_map(|o| (0..config.num_scales).map(move |s| (o, s)))
+            .collect();
+        let built: Vec<Grid<f64>> = bba_par::par_map(&pairs, |&(o, s)| {
             let theta0 = config.orientation_angle(o);
             let (sin0, cos0) = theta0.sin_cos();
-            let mut per_scale = Vec::with_capacity(config.num_scales);
-            for s in 0..config.num_scales {
-                let f0 = config.center_frequency(s);
-                let mut filt = Grid::new(width, height, 0.0);
-                for v in 0..height {
-                    let fy = freq_axis(height, v);
-                    for u in 0..width {
-                        let fx = freq_axis(width, u);
-                        let radius = (fx * fx + fy * fy).sqrt();
-                        if radius < 1e-12 {
-                            continue; // zero DC response
-                        }
-                        // Radial log-Gaussian.
-                        let lr = (radius / f0).ln();
-                        let radial = (-lr * lr / (2.0 * log_sigma * log_sigma)).exp();
-                        // Angular Gaussian on the folded orientation
-                        // difference (filters are π-periodic for real
-                        // images; cover both half-planes).
-                        let theta = fy.atan2(fx);
-                        let ds = theta.sin() * cos0 - theta.cos() * sin0;
-                        let dc = theta.cos() * cos0 + theta.sin() * sin0;
-                        let dtheta = ds.atan2(dc).abs();
-                        let dtheta = dtheta.min(PI - dtheta); // fold to [0, π/2]
-                        let angular = (-dtheta * dtheta / (2.0 * theta_sigma * theta_sigma)).exp();
-                        filt[(u, v)] = radial * angular;
+            let f0 = config.center_frequency(s);
+            let mut filt = Grid::new(width, height, 0.0);
+            for v in 0..height {
+                let fy = freq_axis(height, v);
+                for u in 0..width {
+                    let fx = freq_axis(width, u);
+                    let radius = (fx * fx + fy * fy).sqrt();
+                    if radius < 1e-12 {
+                        continue; // zero DC response
                     }
+                    // Radial log-Gaussian.
+                    let lr = (radius / f0).ln();
+                    let radial = (-lr * lr / (2.0 * log_sigma * log_sigma)).exp();
+                    // Angular Gaussian on the folded orientation
+                    // difference (filters are π-periodic for real
+                    // images; cover both half-planes).
+                    let theta = fy.atan2(fx);
+                    let ds = theta.sin() * cos0 - theta.cos() * sin0;
+                    let dc = theta.cos() * cos0 + theta.sin() * sin0;
+                    let dtheta = ds.atan2(dc).abs();
+                    let dtheta = dtheta.min(PI - dtheta); // fold to [0, π/2]
+                    let angular = (-dtheta * dtheta / (2.0 * theta_sigma * theta_sigma)).exp();
+                    filt[(u, v)] = radial * angular;
                 }
-                per_scale.push(filt);
             }
-            filters.push(per_scale);
-        }
+            filt
+        });
+        let mut built = built.into_iter();
+        let filters = (0..config.num_orientations)
+            .map(|_| (0..config.num_scales).map(|_| built.next().expect("one per pair")).collect())
+            .collect();
         LogGaborBank { config, width, height, filters }
     }
 
@@ -211,18 +216,28 @@ impl LogGaborBank {
             "image shape does not match filter bank"
         );
         let spectrum = fft2d(img)?;
+        // All N_s·N_o filter responses are independent: compute the
+        // per-(orientation, scale) amplitude grids in parallel (collected
+        // in pair order), then accumulate over scales in ascending-`s`
+        // order per orientation — the same addition order as the serial
+        // loop, so the sums are bit-identical at every thread count.
+        let pairs: Vec<&Grid<f64>> = self.filters.iter().flatten().collect();
+        let amplitudes: Vec<Result<Grid<f64>, FftError>> = bba_par::par_map(&pairs, |filt| {
+            let mut filtered = Grid::new(self.width, self.height, Complex::ZERO);
+            // Frequency-domain product.
+            for (i, z) in filtered.as_mut_slice().iter_mut().enumerate() {
+                *z = spectrum.as_slice()[i].scale(filt.as_slice()[i]);
+            }
+            Ok(fft2d_inverse(&filtered)?.map(|z| z.abs()))
+        });
+        let mut amplitudes = amplitudes.into_iter();
         let mut out = Vec::with_capacity(self.config.num_orientations);
-        let mut filtered = Grid::new(self.width, self.height, Complex::ZERO);
         for per_scale in &self.filters {
             let mut acc = Grid::new(self.width, self.height, 0.0);
-            for filt in per_scale {
-                // Frequency-domain product.
-                for (i, z) in filtered.as_mut_slice().iter_mut().enumerate() {
-                    *z = spectrum.as_slice()[i].scale(filt.as_slice()[i]);
-                }
-                let spatial = fft2d_inverse(&filtered)?;
+            for _ in per_scale {
+                let spatial = amplitudes.next().expect("one amplitude grid per filter")?;
                 for (i, a) in acc.as_mut_slice().iter_mut().enumerate() {
-                    *a += spatial.as_slice()[i].abs();
+                    *a += spatial.as_slice()[i];
                 }
             }
             out.push(acc);

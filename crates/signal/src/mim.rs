@@ -64,19 +64,30 @@ impl MaxIndexMap {
         let h = img.height();
         let mut index = Grid::new(w, h, 0u8);
         let mut amplitude = Grid::new(w, h, 0.0f64);
-        for i in 0..w * h {
-            let mut best_o = 0u8;
-            let mut best_a = f64::NEG_INFINITY;
-            for (o, amp) in amps.iter().enumerate() {
-                let a = amp.as_slice()[i];
-                if a > best_a {
-                    best_a = a;
-                    best_o = o as u8;
+        // The per-pixel argmax is independent per row; the amplitude rows
+        // are filled afterwards from the same winners, keeping both grids
+        // bit-identical to the serial scan at any thread count.
+        bba_par::par_for_rows(index.as_mut_slice(), w, |v, row| {
+            for (u, cell) in row.iter_mut().enumerate() {
+                let i = v * w + u;
+                let mut best_o = 0u8;
+                let mut best_a = f64::NEG_INFINITY;
+                for (o, amp) in amps.iter().enumerate() {
+                    let a = amp.as_slice()[i];
+                    if a > best_a {
+                        best_a = a;
+                        best_o = o as u8;
+                    }
                 }
+                *cell = best_o;
             }
-            index.as_mut_slice()[i] = best_o;
-            amplitude.as_mut_slice()[i] = best_a;
-        }
+        });
+        bba_par::par_for_rows(amplitude.as_mut_slice(), w, |v, row| {
+            for (u, cell) in row.iter_mut().enumerate() {
+                let i = v * w + u;
+                *cell = amps[usize::from(index.as_slice()[i])].as_slice()[i];
+            }
+        });
         MaxIndexMap { index, amplitude, num_orientations: bank.config().num_orientations }
     }
 

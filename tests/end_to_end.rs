@@ -52,6 +52,32 @@ fn recovers_pose_on_urban_frames() {
     assert!(tight >= 2, "only {tight}/3 urban pairs accurate");
 }
 
+/// Exact-float regression pin for one full recovery: the recovered
+/// `(α, t_x, t_y)` and both inlier counts on a fixed dataset/rng seed.
+///
+/// Every stage is deterministic and `bba-par` guarantees bit-identical
+/// results at any thread count, so these constants hold on every machine
+/// and at every `BBA_THREADS` setting. If they move, a numeric change
+/// occurred somewhere in the stage-1/stage-2 pipeline — that may be
+/// intentional (re-pin from the assertion message), but it must never be
+/// an accident of parallel scheduling.
+#[test]
+fn golden_recovered_pose_snapshot() {
+    let (_, _, recovery, _) = recover_pair(DatasetConfig::test_small(), 0, 100)
+        .expect("the golden pair must keep recovering");
+    let t = recovery.transform;
+    assert_eq!(
+        (t.yaw(), t.translation().x, t.translation().y),
+        (0.0008404159903196637, 34.877623479655455, 0.18592732154053127),
+        "recovered pose drifted from the golden snapshot"
+    );
+    assert_eq!(
+        (recovery.inliers_bv(), recovery.inliers_box()),
+        (27, 24),
+        "inlier diagnostics drifted from the golden snapshot"
+    );
+}
+
 #[test]
 fn recovery_beats_corrupted_gps_on_average() {
     let noise = PoseNoise::table1();
