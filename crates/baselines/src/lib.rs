@@ -1,7 +1,7 @@
 //! Baseline pose-recovery methods the paper compares against.
 //!
 //! * [`vips`] — a re-implementation of the VIPS-style **spectral graph
-//!   matching** comparator ([28] in the paper): detected objects form graph
+//!   matching** comparator (\[28\] in the paper): detected objects form graph
 //!   nodes; pairwise-distance consistency forms a correspondence affinity
 //!   matrix whose leading eigenvector (power iteration) is greedily
 //!   discretised into one-to-one matches; a rigid transform is then fit on
@@ -9,7 +9,7 @@
 //!   by surrounding traffic" (paper §II) emerges directly from the
 //!   algorithm: with < 3 common objects there are too few pairwise
 //!   distances to disambiguate.
-//! * [`icp`] — classic 2-D point-to-point ICP (paper reference [17]), the
+//! * [`icp`] — classic 2-D point-to-point ICP (paper reference \[17\]), the
 //!   registration baseline that needs a good initial guess and homogeneous
 //!   sensors.
 //!

@@ -12,7 +12,10 @@ use bba_features::{
 use bba_geometry::{Iso2, Vec2};
 use bba_lidar::{LidarConfig, Scanner};
 use bba_scene::{Scenario, ScenarioConfig, ScenarioPreset};
-use bba_signal::{fft2d, Grid, LogGaborBank, LogGaborConfig, MaxIndexMap};
+use bba_signal::{
+    fft2d, rfft2d, shared_plan, Complex, FftWorkspace, Grid, LogGaborBank, LogGaborConfig,
+    MaxIndexMap,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,8 +31,29 @@ fn sample_scan_points() -> Vec<bba_geometry::Vec3> {
 }
 
 fn bench_fft(c: &mut Criterion) {
-    let img = Grid::from_fn(256, 256, |u, v| ((u * 7 + v * 13) % 17) as f64);
-    c.bench_function("fft2d_256", |b| b.iter(|| fft2d(black_box(&img)).unwrap()));
+    // Complex vs real forward 2-D transform at the pipeline-relevant sizes.
+    // Plans are built (and cached process-wide) before the timed region, so
+    // these measure transform throughput, not planning.
+    for size in [128usize, 256, 512] {
+        let img = Grid::from_fn(size, size, |u, v| ((u * 7 + v * 13) % 17) as f64);
+        shared_plan(size).unwrap();
+        c.bench_function(&format!("fft2d_{size}"), |b| b.iter(|| fft2d(black_box(&img)).unwrap()));
+        c.bench_function(&format!("rfft2d_{size}"), |b| {
+            b.iter(|| rfft2d(black_box(&img)).unwrap())
+        });
+        // Planned 1-D kernel alone (one row-length transform), the unit the
+        // 2-D passes are built from.
+        let plan = shared_plan(size).unwrap();
+        let row: Vec<Complex> =
+            (0..size).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        c.bench_function(&format!("planned_fft1d_{size}"), |b| {
+            b.iter_batched(
+                || row.clone(),
+                |mut buf| plan.forward(black_box(&mut buf)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_bev(c: &mut Criterion) {
@@ -47,6 +71,13 @@ fn bench_mim(c: &mut Criterion) {
     let bank = LogGaborBank::new(256, 256, LogGaborConfig::default());
     c.bench_function("mim_256_4scales_12orient", |b| {
         b.iter(|| MaxIndexMap::compute_with_bank(black_box(img.grid()), &bank))
+    });
+    // Steady-state variant: the workspace is warm, so the Log-Gabor
+    // filtering allocates nothing per iteration.
+    let mut ws = FftWorkspace::new();
+    MaxIndexMap::compute_with_workspace(img.grid(), &bank, &mut ws);
+    c.bench_function("mim_256_warm_workspace", |b| {
+        b.iter(|| MaxIndexMap::compute_with_workspace(black_box(img.grid()), &bank, &mut ws))
     });
 }
 

@@ -1,8 +1,9 @@
 //! **Figure 11** — Accuracy of BV image matching *alone* w.r.t. distance.
 //!
 //! Reproduces the stage-1-only error analysis in four distance bands
-//! ([0,20), [20,45), [45,70), [70,100] m). Paper shape: closer is better,
-//! but even the closest band does not beat the full two-stage [0,70) result
+//! (\[0,20), \[20,45), \[45,70), \[70,100\] m). Paper shape: closer is
+//! better, but even the closest band does not beat the full two-stage
+//! \[0,70) result
 //! of Fig. 10 — motivating the stage-2 refinement.
 
 use bba_bench::cli;

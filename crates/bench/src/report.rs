@@ -71,6 +71,29 @@ pub fn opt(v: Option<f64>, decimals: usize) -> String {
     }
 }
 
+/// Writes a machine-readable result blob to `results/<name>.json`,
+/// alongside the human-readable `.txt` the driver script captures. This is
+/// the perf-trajectory record: CI's bench-smoke job uploads `results/`, so
+/// every run leaves a parseable snapshot next to the table.
+///
+/// Errors are reported on stderr but never fail the benchmark — a missing
+/// `results/` directory on an ad-hoc machine must not kill a run.
+pub fn write_results_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json + "\n") {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("failed to serialise {name} results: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,12 +7,12 @@ use bba_features::{
     describe_keypoints_rotated, detect_keypoints, match_descriptors, ransac_rigid, RansacError,
 };
 use bba_geometry::{BevBox, Box3, Iso2, Iso3, Vec2, Vec3};
-use bba_signal::{LogGaborBank, MaxIndexMap};
+use bba_signal::{FftWorkspace, LogGaborBank, MaxIndexMap};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Stage-1 result: the BV image-matching alignment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,6 +127,10 @@ impl Error for RecoverError {
 pub struct BbAlign {
     config: BbAlignConfig,
     bank: OnceLock<LogGaborBank>,
+    /// Pool of FFT scratch workspaces, recycled across recoveries so the
+    /// steady-state MIM computation allocates nothing per frame. Two are in
+    /// flight per `match_bv` call (one per car's BV image).
+    workspaces: Mutex<Vec<FftWorkspace>>,
 }
 
 impl BbAlign {
@@ -138,7 +142,7 @@ impl BbAlign {
     /// (see [`BbAlignConfig::validate`]).
     pub fn new(config: BbAlignConfig) -> Self {
         config.validate();
-        BbAlign { config, bank: OnceLock::new() }
+        BbAlign { config, bank: OnceLock::new(), workspaces: Mutex::new(Vec::new()) }
     }
 
     /// The engine configuration.
@@ -193,10 +197,19 @@ impl BbAlign {
         // independent, so they run concurrently; each branch inherits half
         // the thread budget for its internal filter-bank parallelism.
         let bank = self.bank();
+        let (mut ws_ego, mut ws_other) = {
+            let mut pool = self.workspaces.lock().expect("workspace pool lock");
+            (pool.pop().unwrap_or_default(), pool.pop().unwrap_or_default())
+        };
         let (mim_ego, mim_other) = bba_par::join(
-            || MaxIndexMap::compute_with_bank(ego.bev().grid(), bank),
-            || MaxIndexMap::compute_with_bank(other.bev().grid(), bank),
+            || MaxIndexMap::compute_with_workspace(ego.bev().grid(), bank, &mut ws_ego),
+            || MaxIndexMap::compute_with_workspace(other.bev().grid(), bank, &mut ws_other),
         );
+        {
+            let mut pool = self.workspaces.lock().expect("workspace pool lock");
+            pool.push(ws_ego);
+            pool.push(ws_other);
+        }
 
         // Keypoints.
         let detect = |frame: &PerceptionFrame, mim: &MaxIndexMap| match cfg.keypoint_source {

@@ -7,7 +7,7 @@
 //! index values; the descriptor therefore (1) estimates the patch's
 //! dominant orientation, (2) samples the patch in a rotated frame, and
 //! (3) shifts every sampled index by the dominant orientation — the
-//! BVFT/ORB-style normalisation the paper adopts from [27]/[34].
+//! BVFT/ORB-style normalisation the paper adopts from \[27\]/\[34\].
 
 use crate::keypoints::Keypoint;
 use bba_signal::MaxIndexMap;

@@ -1,6 +1,6 @@
 //! FAST-style corner detection with non-maximum suppression.
 //!
-//! The paper uses FAST [33] on BV images. The classic detector tests a
+//! The paper uses FAST \[33\] on BV images. The classic detector tests a
 //! Bresenham circle of 16 pixels at radius 3: a pixel is a corner when at
 //! least `arc_length` *contiguous* circle pixels are all brighter than
 //! `center + threshold` or all darker than `center − threshold`. On sparse

@@ -8,7 +8,7 @@
 //! In 2-D the optimum has a closed form without an SVD: demean both point
 //! sets, then `θ* = atan2(Σ wᵢ (sᵢ × dᵢ), Σ wᵢ (sᵢ · dᵢ))` and
 //! `t* = d̄ − R(θ*)·s̄` (the planar specialisation of Arun/Umeyama
-//! least-squares fitting of two point sets, paper reference [17]).
+//! least-squares fitting of two point sets, paper reference \[17\]).
 
 use crate::iso::Iso2;
 use crate::vec::Vec2;

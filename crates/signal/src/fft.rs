@@ -1,4 +1,4 @@
-//! Iterative radix-2 fast Fourier transform, 1-D and 2-D.
+//! Fast Fourier transforms, 1-D and 2-D, over planned radix-2 kernels.
 //!
 //! The Log-Gabor filtering of BB-Align's stage 1 applies 48 filters
 //! (`N_s = 4` scales × `N_o = 12` orientations) to every BV image. Doing
@@ -6,10 +6,19 @@
 //! frequency domain it is one forward 2-D FFT of the image, a per-filter
 //! complex multiply, and one inverse 2-D FFT per filter. This module
 //! provides exactly that machinery, hand-rolled (no external FFT crates are
-//! available offline).
+//! available offline), on top of the precomputed tables in [`crate::plan`].
+//!
+//! Two structural facts of the pipeline are exploited (see DESIGN.md,
+//! "Frequency-domain fast path"): the BV image is **real**, so the forward
+//! transform packs two rows per complex FFT and mirrors the Hermitian half
+//! of the column spectrum ([`rfft2d`]); and every folded Log-Gabor transfer
+//! function is even-symmetric, so each filter response is real and two
+//! responses ride one inverse transform (see
+//! [`crate::LogGaborBank::orientation_amplitudes_into`]).
 
 use crate::complex::Complex;
 use crate::grid::Grid;
+use crate::plan::{shared_plan, FftPlan};
 use std::error::Error;
 use std::fmt;
 
@@ -35,17 +44,11 @@ impl fmt::Display for FftError {
 
 impl Error for FftError {}
 
-fn check_pow2(len: usize) -> Result<(), FftError> {
-    if len == 0 || !len.is_power_of_two() {
-        Err(FftError::NotPowerOfTwo { len })
-    } else {
-        Ok(())
-    }
-}
-
 /// In-place forward FFT of a power-of-two-length buffer.
 ///
 /// Uses the unnormalised convention: `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`.
+/// Fetches the length's plan from the process-wide cache; hot loops that
+/// already hold an [`FftPlan`] should call it directly.
 ///
 /// # Errors
 ///
@@ -63,8 +66,7 @@ fn check_pow2(len: usize) -> Result<(), FftError> {
 /// # Ok::<(), bba_signal::FftError>(())
 /// ```
 pub fn fft_inplace(x: &mut [Complex]) -> Result<(), FftError> {
-    check_pow2(x.len())?;
-    fft_unchecked(x, false);
+    shared_plan(x.len())?.forward(x);
     Ok(())
 }
 
@@ -75,108 +77,196 @@ pub fn fft_inplace(x: &mut [Complex]) -> Result<(), FftError> {
 ///
 /// Returns [`FftError::NotPowerOfTwo`] for invalid lengths.
 pub fn ifft_inplace(x: &mut [Complex]) -> Result<(), FftError> {
-    check_pow2(x.len())?;
-    fft_unchecked(x, true);
-    let scale = 1.0 / x.len() as f64;
-    for z in x.iter_mut() {
-        *z = z.scale(scale);
-    }
+    shared_plan(x.len())?.inverse(x);
     Ok(())
-}
-
-/// Core iterative Cooley–Tukey butterfly; `len` must be a power of two.
-fn fft_unchecked(x: &mut [Complex], inverse: bool) {
-    let n = x.len();
-    if n <= 1 {
-        return;
-    }
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if i < j {
-            x.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut half = 1usize;
-    while half < n {
-        let step = std::f64::consts::PI / half as f64 * sign;
-        let w_step = Complex::cis(step);
-        for start in (0..n).step_by(2 * half) {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let a = x[start + k];
-                let b = x[start + k + half] * w;
-                x[start + k] = a + b;
-                x[start + k + half] = a - b;
-                w *= w_step;
-            }
-        }
-        half *= 2;
-    }
 }
 
 /// Forward 2-D FFT of a real-valued grid, returning the complex spectrum.
 ///
 /// Both dimensions must be powers of two (BB-Align BV images are generated
 /// at power-of-two resolutions, e.g. 256² or 512²; use
-/// [`pad_to_pow2`] otherwise).
+/// [`pad_to_pow2`] otherwise). For real input, [`rfft2d`] computes the same
+/// spectrum in roughly half the work.
 ///
 /// # Errors
 ///
 /// Returns [`FftError::NotPowerOfTwo`] if either dimension is invalid.
 pub fn fft2d(img: &Grid<f64>) -> Result<Grid<Complex>, FftError> {
-    check_pow2(img.width())?;
-    check_pow2(img.height())?;
     let mut spec = img.map(|&x| Complex::from_real(x));
-    fft2d_passes(&mut spec, false);
+    fft2d_passes(&mut spec, false)?;
     Ok(spec)
 }
 
 /// Row pass then column pass of a 2-D FFT, both parallelised: rows are
-/// disjoint `&mut` slices ([`bba_par::par_for_rows`]); columns are gathered
-/// into per-column scratch buffers ([`bba_par::par_map_indices`], ordered by
-/// column index) and scattered back row by row. Each 1-D transform sees
-/// exactly the serial loop's data, so the result is bit-identical at every
-/// thread count.
-fn fft2d_passes(spec: &mut Grid<Complex>, inverse: bool) {
+/// disjoint `&mut` slices ([`bba_par::par_for_rows`]); columns are
+/// transposed into a scratch grid whose rows are again disjoint, transformed
+/// there, and scattered back row by row. Each 1-D transform sees exactly the
+/// serial loop's data, so the result is bit-identical at every thread count.
+fn fft2d_passes(spec: &mut Grid<Complex>, inverse: bool) -> Result<(), FftError> {
     let w = spec.width();
     let h = spec.height();
-    bba_par::par_for_rows(spec.as_mut_slice(), w, |_, row| fft_unchecked(row, inverse));
-    let cols: Vec<Vec<Complex>> = {
-        let spec = &*spec;
-        bba_par::par_map_indices(w, |u| {
-            let mut col: Vec<Complex> = (0..h).map(|v| spec[(u, v)]).collect();
-            fft_unchecked(&mut col, inverse);
-            col
-        })
+    let plan_w = shared_plan(w)?;
+    let plan_h = shared_plan(h)?;
+    let run = |plan: &FftPlan, buf: &mut [Complex]| {
+        if inverse {
+            plan.inverse_unscaled(buf);
+        } else {
+            plan.forward(buf);
+        }
     };
+    bba_par::par_for_rows(spec.as_mut_slice(), w, |_, row| run(&plan_w, row));
+    // Transposed scratch: row `u` of `t` is column `u` of `spec`.
+    let mut t = Grid::new(h, w, Complex::ZERO);
+    {
+        let spec = &*spec;
+        bba_par::par_for_rows(t.as_mut_slice(), h, |u, trow| {
+            for (v, z) in trow.iter_mut().enumerate() {
+                *z = spec[(u, v)];
+            }
+            run(&plan_h, trow);
+        });
+    }
     bba_par::par_for_rows(spec.as_mut_slice(), w, |v, row| {
         for (u, z) in row.iter_mut().enumerate() {
-            *z = cols[u][v];
+            *z = t[(v, u)];
         }
     });
+    Ok(())
 }
 
 /// Inverse 2-D FFT, returning the complex spatial-domain result.
+///
+/// Normalised by `1/(W·H)`, so `fft2d_inverse(fft2d(img))` recovers `img`
+/// up to floating-point error.
 ///
 /// # Errors
 ///
 /// Returns [`FftError::NotPowerOfTwo`] if either dimension is invalid.
 pub fn fft2d_inverse(spec: &Grid<Complex>) -> Result<Grid<Complex>, FftError> {
-    check_pow2(spec.width())?;
-    check_pow2(spec.height())?;
     let w = spec.width();
     let h = spec.height();
     let mut out = spec.clone();
-    fft2d_passes(&mut out, true);
+    fft2d_passes(&mut out, true)?;
     let scale = 1.0 / (w * h) as f64;
     for z in out.as_mut_slice() {
         *z = z.scale(scale);
     }
     Ok(out)
+}
+
+/// Forward 2-D FFT of a real-valued grid via the real-input fast path:
+/// identical spectrum to [`fft2d`] (up to rounding) in roughly half the
+/// work.
+///
+/// Two real rows are packed into one complex FFT and unpacked through the
+/// Hermitian symmetry of real-signal spectra, halving the row pass; the
+/// column pass transforms only bins `0..=W/2` and mirrors the rest from
+/// `F(u,v) = conj(F(W−u, H−v))`, halving the column pass.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if either dimension is invalid.
+pub fn rfft2d(img: &Grid<f64>) -> Result<Grid<Complex>, FftError> {
+    let w = img.width();
+    let h = img.height();
+    let plan_w = shared_plan(w)?;
+    let plan_h = shared_plan(h)?;
+    let mut spec = Grid::new(w, h, Complex::ZERO);
+    let mut pack = vec![Complex::ZERO; w];
+    let mut col = vec![Complex::ZERO; h];
+    rfft2d_into(img, &plan_w, &plan_h, &mut spec, &mut pack, &mut col);
+    Ok(spec)
+}
+
+/// Allocation-free core of [`rfft2d`]: writes the full complex spectrum of
+/// `img` into `spec` using caller-provided scratch (`pack` of length `W`,
+/// `col` of length `H`). Serial by design — the MIM hot path calls this once
+/// per frame and spends its thread budget on the 24 filter lanes instead.
+///
+/// # Panics
+///
+/// Panics (in the underlying plan) if the plans or buffers do not match the
+/// image dimensions.
+pub(crate) fn rfft2d_into(
+    img: &Grid<f64>,
+    plan_w: &FftPlan,
+    plan_h: &FftPlan,
+    spec: &mut Grid<Complex>,
+    pack: &mut [Complex],
+    col: &mut [Complex],
+) {
+    let w = img.width();
+    let h = img.height();
+    debug_assert_eq!((spec.width(), spec.height()), (w, h));
+    // Row pass: two real rows per complex transform. With Z the transform
+    // of `row_a + i·row_b`, Hermitian symmetry separates the pair:
+    // `F_a[k] = (Z[k] + conj(Z[W−k]))/2`, `F_b[k] = (Z[k] − conj(Z[W−k]))/(2i)`.
+    if h == 1 {
+        for (z, &x) in spec.as_mut_slice().iter_mut().zip(img.as_slice()) {
+            *z = Complex::from_real(x);
+        }
+        plan_w.forward(spec.as_mut_slice());
+        return;
+    }
+    for vp in 0..h / 2 {
+        let (v0, v1) = (2 * vp, 2 * vp + 1);
+        let row0 = img.row(v0);
+        let row1 = img.row(v1);
+        for (u, z) in pack.iter_mut().enumerate() {
+            *z = Complex::new(row0[u], row1[u]);
+        }
+        plan_w.forward(pack);
+        for k in 0..w {
+            let z = pack[k];
+            let zc = pack[(w - k) & (w - 1)].conj();
+            spec[(k, v0)] = (z + zc).scale(0.5);
+            let d = (z - zc).scale(0.5); // = i·F_b[k]
+            spec[(k, v1)] = Complex::new(d.im, -d.re);
+        }
+    }
+    // Column pass on bins 0..=W/2; the upper half follows from the
+    // Hermitian symmetry of the full real-input 2-D spectrum.
+    for u in 0..=w / 2 {
+        for (v, z) in col.iter_mut().enumerate() {
+            *z = spec[(u, v)];
+        }
+        plan_h.forward(col);
+        for (v, &z) in col.iter().enumerate() {
+            spec[(u, v)] = z;
+        }
+    }
+    for u in w / 2 + 1..w {
+        for v in 0..h {
+            spec[(u, v)] = spec[(w - u, (h - v) & (h - 1))].conj();
+        }
+    }
+}
+
+/// Serial in-place unnormalised inverse 2-D FFT over a row-major buffer,
+/// using caller-provided column scratch (`col` of length `H`). The caller
+/// applies the `1/(W·H)` normalisation, typically fused into whatever pass
+/// consumes the result.
+pub(crate) fn ifft2d_unscaled_into(
+    data: &mut [Complex],
+    w: usize,
+    h: usize,
+    plan_w: &FftPlan,
+    plan_h: &FftPlan,
+    col: &mut [Complex],
+) {
+    debug_assert_eq!(data.len(), w * h);
+    for row in data.chunks_exact_mut(w) {
+        plan_w.inverse_unscaled(row);
+    }
+    for u in 0..w {
+        for (v, z) in col.iter_mut().enumerate() {
+            *z = data[v * w + u];
+        }
+        plan_h.inverse_unscaled(col);
+        for (v, &z) in col.iter().enumerate() {
+            data[v * w + u] = z;
+        }
+    }
 }
 
 /// Zero-pads a grid up to the next power-of-two dimensions.
@@ -209,6 +299,7 @@ mod tests {
         let mut x = vec![Complex::ZERO; 6];
         assert_eq!(fft_inplace(&mut x).unwrap_err(), FftError::NotPowerOfTwo { len: 6 });
         assert!(!FftError::NotPowerOfTwo { len: 6 }.to_string().is_empty());
+        assert!(rfft2d(&Grid::new(6, 4, 0.0)).is_err());
     }
 
     #[test]
@@ -252,6 +343,18 @@ mod tests {
     }
 
     #[test]
+    fn ifft_applies_1_over_n_scaling() {
+        // A flat spectrum of ones is the transform of a unit impulse: the
+        // inverse must produce exactly δ[0] = 1 (not N).
+        let mut x = vec![Complex::ONE; 16];
+        ifft_inplace(&mut x).unwrap();
+        assert_close(x[0], Complex::ONE, 1e-12);
+        for &z in &x[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn linearity() {
         let a: Vec<Complex> = (0..16).map(|i| Complex::from_real(i as f64)).collect();
         let b: Vec<Complex> = (0..16).map(|i| Complex::from_real((i * i % 7) as f64)).collect();
@@ -289,6 +392,20 @@ mod tests {
     }
 
     #[test]
+    fn fft2d_inverse_applies_1_over_wh_scaling() {
+        // Flat 2-D spectrum ⇒ unit impulse at the origin, amplitude exactly
+        // 1 only when the inverse divides by W·H once (not per pass).
+        let spec = Grid::new(8, 4, Complex::ONE);
+        let back = fft2d_inverse(&spec).unwrap();
+        assert_close(back[(0, 0)], Complex::ONE, 1e-12);
+        for (u, v, &z) in back.iter_cells() {
+            if (u, v) != (0, 0) {
+                assert!(z.abs() < 1e-12, "nonzero at ({u},{v}): {z:?}");
+            }
+        }
+    }
+
+    #[test]
     fn dc_2d_is_image_sum() {
         let img = Grid::from_fn(8, 8, |u, v| (u + v) as f64);
         let spec = fft2d(&img).unwrap();
@@ -305,6 +422,19 @@ mod tests {
                 let conj_u = (8 - u) % 8;
                 let conj_v = (8 - v) % 8;
                 assert_close(spec[(u, v)], spec[(conj_u, conj_v)].conj(), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rfft2d_matches_fft2d() {
+        for (w, h) in [(16, 16), (8, 32), (32, 1), (1, 8), (2, 2)] {
+            let img = Grid::from_fn(w, h, |u, v| ((u * 13 + v * 7) % 9) as f64 - 3.0);
+            let full = fft2d(&img).unwrap();
+            let real = rfft2d(&img).unwrap();
+            for i in 0..full.len() {
+                let (a, b) = (full.as_slice()[i], real.as_slice()[i]);
+                assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{w}x{h} bin {i}: {a:?} vs {b:?}");
             }
         }
     }

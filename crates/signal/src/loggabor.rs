@@ -10,7 +10,7 @@
 //! ```
 //!
 //! Scales follow the geometric progression of Kovesi's reference
-//! implementation (paper footnote 2 / reference [32]): the centre wavelength
+//! implementation (paper footnote 2 / reference \[32\]): the centre wavelength
 //! of scale `s` is `min_wavelength · mult^(s−1)` pixels, i.e. centre
 //! frequency `ρ_s = 1 / wavelength_s` cycles/pixel. The radial bandwidth is
 //! expressed through `sigma_on_f` (σ/f ratio, ~0.55 ≈ two octaves) and the
@@ -21,8 +21,9 @@
 //! `A(ρ, θ, s, o)` used in Eq. (9)–(10).
 
 use crate::complex::Complex;
-use crate::fft::{fft2d, fft2d_inverse, FftError};
+use crate::fft::{ifft2d_unscaled_into, rfft2d_into, FftError};
 use crate::grid::Grid;
+use crate::workspace::FftWorkspace;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
@@ -106,6 +107,12 @@ pub struct LogGaborBank {
     height: usize,
     /// `filters[o][s]` — frequency-domain transfer function (real-valued).
     filters: Vec<Vec<Grid<f64>>>,
+    /// `packed[o][p]` — scales `2p` and `2p+1` of orientation `o` packed as
+    /// `L_{2p} + i·L_{2p+1}` (imaginary part zero for a trailing odd scale).
+    /// Because both transfer functions are real and even-symmetric, one
+    /// inverse FFT of `F·packed` yields both spatial responses at once:
+    /// scale `2p` in the real part, `2p+1` in the imaginary part.
+    packed: Vec<Vec<Grid<Complex>>>,
 }
 
 impl LogGaborBank {
@@ -164,13 +171,45 @@ impl LogGaborBank {
                     filt[(u, v)] = radial * angular;
                 }
             }
-            filt
+            // Even-symmetrise: the Nyquist row/column are their own
+            // conjugate mirrors, but the +0.5 frequency convention assigns
+            // them a single alias angle, leaving `L[k] ≠ L[−k]` there.
+            // Averaging each bin with its mirror (exact for already-equal
+            // bins: 0.5·(a+a) = a) restores `L[k] = L[−k]` everywhere, so
+            // every spatial response is exactly real — the property the
+            // packed-inverse-pair fast path rests on. It is also the more
+            // faithful filter: a Nyquist bin represents both ±0.5 aliases.
+            Grid::from_fn(width, height, |u, v| {
+                let m = filt[((width - u) % width, (height - v) % height)];
+                0.5 * (filt[(u, v)] + m)
+            })
         });
         let mut built = built.into_iter();
-        let filters = (0..config.num_orientations)
+        let filters: Vec<Vec<Grid<f64>>> = (0..config.num_orientations)
             .map(|_| (0..config.num_scales).map(|_| built.next().expect("one per pair")).collect())
             .collect();
-        LogGaborBank { config, width, height, filters }
+        let packed = filters
+            .iter()
+            .map(|per_scale| {
+                per_scale
+                    .chunks(2)
+                    .map(|pair| {
+                        Grid::from_vec(
+                            width,
+                            height,
+                            (0..width * height)
+                                .map(|i| {
+                                    let re = pair[0].as_slice()[i];
+                                    let im = pair.get(1).map_or(0.0, |f| f.as_slice()[i]);
+                                    Complex::new(re, im)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        LogGaborBank { config, width, height, filters, packed }
     }
 
     /// The configuration used to build the bank.
@@ -200,7 +239,9 @@ impl LogGaborBank {
     /// Amplitude response per orientation, summed over scales — the paper's
     /// Eq. (8)–(9): `A(ρ,θ,o) = Σ_s ‖B * L(·,·,s,o)‖`.
     ///
-    /// Returns `N_o` grids of per-pixel amplitudes.
+    /// Returns `N_o` grids of per-pixel amplitudes. Allocates a fresh
+    /// [`FftWorkspace`] per call; hot loops should hold one and use
+    /// [`LogGaborBank::orientation_amplitudes_into`] instead.
     ///
     /// # Errors
     ///
@@ -210,39 +251,100 @@ impl LogGaborBank {
     ///
     /// Panics if the image shape differs from the bank's.
     pub fn orientation_amplitudes(&self, img: &Grid<f64>) -> Result<Vec<Grid<f64>>, FftError> {
+        let mut ws = FftWorkspace::new();
+        self.orientation_amplitudes_into(img, &mut ws)?;
+        Ok(ws.take_amplitudes())
+    }
+
+    /// Allocation-free amplitude computation: fills the workspace's
+    /// per-orientation accumulators (read them back via
+    /// [`FftWorkspace::amplitude`] / [`FftWorkspace::amplitudes`]) without
+    /// touching the heap once `ws` has seen this image size.
+    ///
+    /// This is the frequency-domain fast path: one real forward transform
+    /// ([`rfft2d`](crate::rfft2d) packing), then per orientation `⌈N_s/2⌉`
+    /// packed inverse transforms — scales `2p` and `2p+1` share one inverse
+    /// FFT because their filter responses are real (even-symmetric transfer
+    /// functions), landing in the real and imaginary parts respectively.
+    /// Orientations are the unit of parallelism: each `bba-par` worker owns
+    /// a disjoint workspace lane, scales accumulate in ascending order, and
+    /// the `1/(W·H)` inverse normalisation is fused into the accumulation,
+    /// so results are bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the image dimensions are not powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape differs from the bank's.
+    pub fn orientation_amplitudes_into(
+        &self,
+        img: &Grid<f64>,
+        ws: &mut FftWorkspace,
+    ) -> Result<(), FftError> {
         assert_eq!(
             (img.width(), img.height()),
             (self.width, self.height),
             "image shape does not match filter bank"
         );
-        let spectrum = fft2d(img)?;
-        // All N_s·N_o filter responses are independent: compute the
-        // per-(orientation, scale) amplitude grids in parallel (collected
-        // in pair order), then accumulate over scales in ascending-`s`
-        // order per orientation — the same addition order as the serial
-        // loop, so the sums are bit-identical at every thread count.
-        let pairs: Vec<&Grid<f64>> = self.filters.iter().flatten().collect();
-        let amplitudes: Vec<Result<Grid<f64>, FftError>> = bba_par::par_map(&pairs, |filt| {
-            let mut filtered = Grid::new(self.width, self.height, Complex::ZERO);
-            // Frequency-domain product.
-            for (i, z) in filtered.as_mut_slice().iter_mut().enumerate() {
-                *z = spectrum.as_slice()[i].scale(filt.as_slice()[i]);
-            }
-            Ok(fft2d_inverse(&filtered)?.map(|z| z.abs()))
-        });
-        let mut amplitudes = amplitudes.into_iter();
-        let mut out = Vec::with_capacity(self.config.num_orientations);
-        for per_scale in &self.filters {
-            let mut acc = Grid::new(self.width, self.height, 0.0);
-            for _ in per_scale {
-                let spatial = amplitudes.next().expect("one amplitude grid per filter")?;
-                for (i, a) in acc.as_mut_slice().iter_mut().enumerate() {
-                    *a += spatial.as_slice()[i];
+        ws.ensure(self.width, self.height, self.config.num_orientations)?;
+        let FftWorkspace { plans, spectrum, pack, col, lanes, .. } = ws;
+        let (plan_w, plan_h) = plans.as_ref().expect("ensure always sets plans");
+        // The forward transform is a small fraction of the work (1 image
+        // transform vs ⌈N_s/2⌉·N_o inverse ones); run it serially and spend
+        // the thread budget on the orientation lanes below.
+        rfft2d_into(img, plan_w, plan_h, spectrum, pack, col);
+        let spectrum = &*spectrum;
+        let num_scales = self.config.num_scales;
+        let scale = 1.0 / (self.width * self.height) as f64;
+        bba_par::par_for_rows(lanes, 1, |o, lane| {
+            let lane = &mut lane[0];
+            for (p, pair) in self.packed[o].iter().enumerate() {
+                // Frequency-domain product F·(L_a + i·L_b) = F_a + i·F_b.
+                for ((z, &s), &f) in
+                    lane.filtered.iter_mut().zip(spectrum.as_slice()).zip(pair.as_slice())
+                {
+                    *z = s * f;
+                }
+                ifft2d_unscaled_into(
+                    &mut lane.filtered,
+                    self.width,
+                    self.height,
+                    plan_w,
+                    plan_h,
+                    &mut lane.col,
+                );
+                // Split the packed pair and accumulate, fusing the 1/(W·H)
+                // normalisation. The responses are mathematically real, so
+                // amplitude ‖·‖ reduces to |re| (and |im| for the partner).
+                let acc = lane.acc.as_mut_slice();
+                let both = 2 * p + 1 < num_scales;
+                match (p == 0, both) {
+                    (true, true) => {
+                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
+                            *a = (z.re * scale).abs() + (z.im * scale).abs();
+                        }
+                    }
+                    (true, false) => {
+                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
+                            *a = (z.re * scale).abs();
+                        }
+                    }
+                    (false, true) => {
+                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
+                            *a = (*a + (z.re * scale).abs()) + (z.im * scale).abs();
+                        }
+                    }
+                    (false, false) => {
+                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
+                            *a += (z.re * scale).abs();
+                        }
+                    }
                 }
             }
-            out.push(acc);
-        }
-        Ok(out)
+        });
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::grid::Grid;
 use crate::loggabor::{LogGaborBank, LogGaborConfig};
+use crate::workspace::FftWorkspace;
 use serde::{Deserialize, Serialize};
 
 /// A computed Maximum Index Map plus the amplitude evidence behind it.
@@ -54,12 +55,36 @@ impl MaxIndexMap {
 
     /// Computes the MIM using a pre-built filter bank.
     ///
+    /// Allocates a fresh [`FftWorkspace`] per call; hot loops should hold
+    /// one and use [`MaxIndexMap::compute_with_workspace`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if the image shape differs from the bank's, or the dimensions
     /// are not powers of two.
     pub fn compute_with_bank(img: &Grid<f64>, bank: &LogGaborBank) -> MaxIndexMap {
-        let amps = bank.orientation_amplitudes(img).expect("BV images are power-of-two sized");
+        let mut ws = FftWorkspace::new();
+        Self::compute_with_workspace(img, bank, &mut ws)
+    }
+
+    /// Computes the MIM using a pre-built filter bank and a reusable
+    /// [`FftWorkspace`] — the steady-state fast path: once the workspace has
+    /// seen this image size, the Log-Gabor filtering performs zero heap
+    /// allocation per frame (only the output grids are allocated). Results
+    /// are identical to [`MaxIndexMap::compute_with_bank`] at every thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape differs from the bank's, or the dimensions
+    /// are not powers of two.
+    pub fn compute_with_workspace(
+        img: &Grid<f64>,
+        bank: &LogGaborBank,
+        ws: &mut FftWorkspace,
+    ) -> MaxIndexMap {
+        bank.orientation_amplitudes_into(img, ws).expect("BV images are power-of-two sized");
+        let amps: Vec<&Grid<f64>> = ws.amplitudes().collect();
         let w = img.width();
         let h = img.height();
         let mut index = Grid::new(w, h, 0u8);

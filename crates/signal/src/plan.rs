@@ -1,0 +1,244 @@
+//! Planned FFTs: precomputed bit-reversal and twiddle tables per length.
+//!
+//! The seed implementation recomputed its twiddle factors inside every
+//! butterfly pass with the recurrence `w *= w_step` — one extra complex
+//! multiply per butterfly *and* a serial dependency chain that both costs
+//! instruction-level parallelism and accumulates rounding drift across a
+//! pass. An [`FftPlan`] instead tabulates, once per transform length:
+//!
+//! * the bit-reversal permutation, and
+//! * the unit-circle twiddles `e^{∓2πi·j/N}`, each evaluated directly with
+//!   [`Complex::cis`] at its own index (no recurrence, so every twiddle is
+//!   correctly rounded).
+//!
+//! Plans depend only on the length, so one plan serves every row of a 2-D
+//! transform and every filter of the Log-Gabor bank; [`shared_plan`] caches
+//! them process-wide behind an `Arc`. Stage 1 of BB-Align runs hundreds of
+//! same-length 1-D transforms per frame, which is exactly the workload
+//! planning (FFTW-style) exists for.
+
+use crate::complex::Complex;
+use crate::fft::FftError;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A reusable plan for power-of-two FFTs of one fixed length.
+///
+/// Construction is `O(N)`; every transform through the plan is the classic
+/// iterative Cooley–Tukey `O(N log N)` with all trigonometry precomputed.
+///
+/// # Example
+///
+/// ```
+/// use bba_signal::{Complex, FftPlan};
+/// let plan = FftPlan::new(8)?;
+/// let mut x = vec![Complex::ZERO; 8];
+/// x[0] = Complex::ONE;
+/// plan.forward(&mut x);
+/// assert!(x.iter().all(|z| (z.re - 1.0).abs() < 1e-12));
+/// plan.inverse(&mut x);
+/// assert!((x[0].re - 1.0).abs() < 1e-12 && x[1].abs() < 1e-12);
+/// # Ok::<(), bba_signal::FftError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `bitrev[i]` is the bit-reversed index of `i` (swap partner).
+    bitrev: Vec<u32>,
+    /// Forward twiddles `e^{-2πi·j/N}` for `j` in `0..N/2`.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles `e^{+2πi·j/N}` for `j` in `0..N/2`.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] unless `n` is a power of two.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo { len: n });
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    ((i.reverse_bits() >> (usize::BITS - bits)) & (n - 1)) as u32
+                }
+            })
+            .collect();
+        // Each twiddle is evaluated directly at its own angle — no
+        // recurrence, so the table is correctly rounded entry by entry.
+        let fwd: Vec<Complex> =
+            (0..n / 2).map(|j| Complex::cis(-2.0 * PI * j as f64 / n as f64)).collect();
+        let inv = fwd.iter().map(|w| w.conj()).collect();
+        Ok(FftPlan { n, bitrev, fwd, inv })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward FFT (unnormalised: `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan's length.
+    pub fn forward(&self, x: &mut [Complex]) {
+        self.butterflies(x, &self.fwd);
+    }
+
+    /// In-place inverse FFT, normalised by `1/N` so that
+    /// `plan.inverse` undoes `plan.forward` up to floating-point error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan's length.
+    pub fn inverse(&self, x: &mut [Complex]) {
+        self.butterflies(x, &self.inv);
+        let scale = 1.0 / self.n as f64;
+        for z in x.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// In-place inverse FFT *without* the `1/N` normalisation.
+    ///
+    /// Multi-dimensional transforms use this to defer all scaling to one
+    /// fused final pass (`1/(W·H)` for 2-D) instead of scaling after every
+    /// 1-D pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan's length.
+    pub fn inverse_unscaled(&self, x: &mut [Complex]) {
+        self.butterflies(x, &self.inv);
+    }
+
+    /// Shared butterfly kernel over a precomputed twiddle table.
+    fn butterflies(&self, x: &mut [Complex], twiddles: &[Complex]) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "buffer length does not match plan length");
+        if n <= 1 {
+            return;
+        }
+        for (i, &j) in self.bitrev.iter().enumerate() {
+            let j = j as usize;
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+        let mut half = 1usize;
+        while half < n {
+            let stride = n / (2 * half);
+            for block in x.chunks_exact_mut(2 * half) {
+                let (lo, hi) = block.split_at_mut(half);
+                for k in 0..half {
+                    let w = twiddles[k * stride];
+                    let b = hi[k] * w;
+                    let a = lo[k];
+                    lo[k] = a + b;
+                    hi[k] = a - b;
+                }
+            }
+            half *= 2;
+        }
+    }
+}
+
+/// The process-wide plan cache: one [`FftPlan`] per length, built on first
+/// request and shared by every caller (rows, columns, all 48 Log-Gabor
+/// filter applications, and every thread — [`FftPlan`] is immutable after
+/// construction, so sharing is free).
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] unless `n` is a power of two.
+pub fn shared_plan(n: usize) -> Result<Arc<FftPlan>, FftError> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("plan cache lock is never poisoned");
+    if let Some(plan) = map.get(&n) {
+        return Ok(plan.clone());
+    }
+    let plan = Arc::new(FftPlan::new(n)?);
+    map.insert(n, plan.clone());
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::NotPowerOfTwo { len: 0 });
+        assert_eq!(FftPlan::new(12).unwrap_err(), FftError::NotPowerOfTwo { len: 12 });
+        assert!(shared_plan(7).is_err());
+    }
+
+    #[test]
+    fn unit_length_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut x = [Complex::new(3.0, -2.0)];
+        plan.forward(&mut x);
+        assert_eq!(x[0], Complex::new(3.0, -2.0));
+        plan.inverse(&mut x);
+        assert_eq!(x[0], Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn forward_matches_single_tone() {
+        let n = 16;
+        let k0 = 3;
+        let plan = FftPlan::new(n).unwrap();
+        let mut x: Vec<Complex> =
+            (0..n).map(|i| Complex::cis(2.0 * PI * k0 as f64 * i as f64 / n as f64)).collect();
+        plan.forward(&mut x);
+        for (k, z) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64).abs() < 1e-9 && z.im.abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leak at bin {k}: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_scales_and_roundtrips() {
+        let plan = FftPlan::new(32).unwrap();
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let mut unscaled = y.clone();
+        plan.inverse(&mut y);
+        plan.inverse_unscaled(&mut unscaled);
+        for i in 0..32 {
+            assert!((y[i] - x[i]).abs() < 1e-10);
+            assert!((unscaled[i] - x[i].scale(32.0)).abs() < 1e-8, "unscaled differs by N");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match plan length")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut x = vec![Complex::ZERO; 4];
+        plan.forward(&mut x);
+    }
+
+    #[test]
+    fn shared_plan_is_cached() {
+        let a = shared_plan(64).unwrap();
+        let b = shared_plan(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same length must hit the cache");
+        assert_eq!(a.size(), 64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Reusable scratch memory for the frequency-domain hot path.
+//!
+//! The seed implementation allocated fresh buffers for every MIM
+//! computation: one complex grid per filtered spectrum, one per inverse
+//! transform, a `Vec<Vec<Complex>>` column gather inside every 2-D pass and
+//! one amplitude grid per filter — roughly a hundred heap allocations and
+//! ~50 MB of traffic per 256² frame. An [`FftWorkspace`] owns all of that
+//! memory instead: the forward spectrum, the row-pack and column buffers of
+//! the real 2-D transform, and one *lane* per Log-Gabor orientation holding
+//! the packed filtered spectrum, a column buffer and the per-orientation
+//! amplitude accumulator.
+//!
+//! Buffers are sized on first use (the crate-private `ensure`) and reused
+//! verbatim afterwards, so the steady-state MIM computation performs **zero
+//! heap allocation on the FFT path** (proved by the counting-allocator test
+//! `crates/signal/tests/alloc_free.rs`). Lanes double as the unit of
+//! parallelism: `bba-par` hands each worker a disjoint `&mut` lane, and the
+//! per-orientation accumulation order is fixed (ascending scale), so results
+//! stay bit-identical at every thread count.
+
+use crate::complex::Complex;
+use crate::fft::FftError;
+use crate::grid::Grid;
+use crate::plan::{shared_plan, FftPlan};
+use std::sync::Arc;
+
+/// Per-orientation scratch: the filtered spectrum being inverse-transformed
+/// and the amplitude accumulator it feeds.
+#[derive(Debug, Clone)]
+pub(crate) struct OrientationLane {
+    /// Packed filtered spectrum / spatial response, `width × height`.
+    pub(crate) filtered: Vec<Complex>,
+    /// Column buffer for the inverse transform's second pass.
+    pub(crate) col: Vec<Complex>,
+    /// Amplitude summed over scales — the per-orientation output grid.
+    pub(crate) acc: Grid<f64>,
+}
+
+/// Reusable scratch buffers for [`LogGaborBank`](crate::LogGaborBank)
+/// filtering and [`MaxIndexMap`](crate::MaxIndexMap) computation.
+///
+/// Create one per concurrent image stream and thread it through
+/// [`MaxIndexMap::compute_with_workspace`](crate::MaxIndexMap::compute_with_workspace)
+/// (or [`LogGaborBank::orientation_amplitudes_into`](crate::LogGaborBank::orientation_amplitudes_into)).
+/// The workspace grows to fit the first image it sees and afterwards recycles
+/// every buffer; contents carry no state between frames, so reuse never
+/// changes results.
+///
+/// # Example
+///
+/// ```
+/// use bba_signal::{FftWorkspace, Grid, LogGaborBank, LogGaborConfig, MaxIndexMap};
+/// let bank = LogGaborBank::new(32, 32, LogGaborConfig::default());
+/// let mut ws = FftWorkspace::new();
+/// let img = Grid::new(32, 32, 0.0);
+/// let a = MaxIndexMap::compute_with_workspace(&img, &bank, &mut ws);
+/// let b = MaxIndexMap::compute_with_workspace(&img, &bank, &mut ws); // reuses all buffers
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftWorkspace {
+    pub(crate) width: usize,
+    pub(crate) height: usize,
+    /// Row/column plans for the current size (`None` until first `ensure`).
+    pub(crate) plans: Option<(Arc<FftPlan>, Arc<FftPlan>)>,
+    /// Forward spectrum of the current image.
+    pub(crate) spectrum: Grid<Complex>,
+    /// Row-pair packing buffer of the real forward transform (`width`).
+    pub(crate) pack: Vec<Complex>,
+    /// Column buffer of the forward transform (`height`).
+    pub(crate) col: Vec<Complex>,
+    /// One lane per Log-Gabor orientation.
+    pub(crate) lanes: Vec<OrientationLane>,
+}
+
+impl Default for FftWorkspace {
+    fn default() -> Self {
+        FftWorkspace {
+            width: 0,
+            height: 0,
+            plans: None,
+            spectrum: Grid::new(0, 0, Complex::ZERO),
+            pack: Vec::new(),
+            col: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+}
+
+impl FftWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        FftWorkspace::default()
+    }
+
+    /// Sizes every buffer for `width × height` images filtered by a bank
+    /// with `num_orientations` orientations. A no-op (and allocation-free)
+    /// when the workspace already matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] if either dimension is not a
+    /// power of two.
+    pub(crate) fn ensure(
+        &mut self,
+        width: usize,
+        height: usize,
+        num_orientations: usize,
+    ) -> Result<(), FftError> {
+        if self.width != width || self.height != height || self.plans.is_none() {
+            let plan_w = shared_plan(width)?;
+            let plan_h = shared_plan(height)?;
+            self.plans = Some((plan_w, plan_h));
+            self.width = width;
+            self.height = height;
+            self.spectrum = Grid::new(width, height, Complex::ZERO);
+            self.pack = vec![Complex::ZERO; width];
+            self.col = vec![Complex::ZERO; height];
+            self.lanes.clear();
+        }
+        let len = width * height;
+        if self.lanes.len() != num_orientations
+            || self.lanes.first().is_some_and(|l| l.filtered.len() != len)
+        {
+            self.lanes = (0..num_orientations)
+                .map(|_| OrientationLane {
+                    filtered: vec![Complex::ZERO; len],
+                    col: vec![Complex::ZERO; height],
+                    acc: Grid::new(width, height, 0.0),
+                })
+                .collect();
+        }
+        Ok(())
+    }
+
+    /// Number of per-orientation amplitude grids currently held.
+    pub fn num_orientations(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The amplitude grid of orientation `o` from the most recent
+    /// [`LogGaborBank::orientation_amplitudes_into`](crate::LogGaborBank::orientation_amplitudes_into)
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn amplitude(&self, o: usize) -> &Grid<f64> {
+        &self.lanes[o].acc
+    }
+
+    /// Iterates over the per-orientation amplitude grids in orientation
+    /// order.
+    pub fn amplitudes(&self) -> impl Iterator<Item = &Grid<f64>> {
+        self.lanes.iter().map(|l| &l.acc)
+    }
+
+    /// Moves the per-orientation amplitude grids out of the workspace
+    /// (leaving empty grids behind) — the allocation-compatible path used by
+    /// [`LogGaborBank::orientation_amplitudes`](crate::LogGaborBank::orientation_amplitudes).
+    pub(crate) fn take_amplitudes(&mut self) -> Vec<Grid<f64>> {
+        self.lanes.iter_mut().map(|l| std::mem::replace(&mut l.acc, Grid::new(0, 0, 0.0))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_idempotent_and_resizes() {
+        let mut ws = FftWorkspace::new();
+        ws.ensure(16, 8, 4).unwrap();
+        assert_eq!(ws.num_orientations(), 4);
+        assert_eq!(ws.spectrum.width(), 16);
+        let spectrum_ptr = ws.spectrum.as_slice().as_ptr();
+        ws.ensure(16, 8, 4).unwrap();
+        assert_eq!(ws.spectrum.as_slice().as_ptr(), spectrum_ptr, "matching ensure must not move");
+        ws.ensure(32, 32, 6).unwrap();
+        assert_eq!(ws.num_orientations(), 6);
+        assert_eq!(ws.amplitude(5).len(), 32 * 32);
+    }
+
+    #[test]
+    fn ensure_rejects_non_pow2() {
+        let mut ws = FftWorkspace::new();
+        assert_eq!(ws.ensure(12, 8, 4).unwrap_err(), FftError::NotPowerOfTwo { len: 12 });
+        assert_eq!(ws.ensure(8, 12, 4).unwrap_err(), FftError::NotPowerOfTwo { len: 12 });
+    }
+}

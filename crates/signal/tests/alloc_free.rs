@@ -1,0 +1,60 @@
+//! Proof that the steady-state MIM fast path never touches the heap.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! frame has sized the [`FftWorkspace`], further
+//! `orientation_amplitudes_into` calls must perform **zero** allocations.
+//! This is its own integration binary (one test, single-threaded pool) so
+//! no other test's allocations pollute the counter.
+
+use bba_signal::{FftWorkspace, Grid, LogGaborBank, LogGaborConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_mim_fft_path_allocates_nothing() {
+    // Serial pool: with worker threads the pool's task handoff machinery
+    // would allocate; the claim under test is about the FFT path itself.
+    bba_par::with_threads(1, || {
+        let size = 64;
+        let bank = LogGaborBank::new(size, size, LogGaborConfig::default());
+        let images: Vec<Grid<f64>> = (0..3)
+            .map(|k| Grid::from_fn(size, size, |u, v| ((u * 5 + v * 3 + k * 11) % 7) as f64))
+            .collect();
+        let mut ws = FftWorkspace::new();
+        // Warm-up: sizes the workspace and populates the plan cache.
+        bank.orientation_amplitudes_into(&images[0], &mut ws).unwrap();
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for img in &images {
+            bank.orientation_amplitudes_into(img, &mut ws).unwrap();
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(after - before, 0, "steady-state orientation_amplitudes_into must not allocate");
+
+        // Sanity: the warm runs actually computed something.
+        assert!(ws.amplitude(0).max_value() > 0.0);
+    });
+}

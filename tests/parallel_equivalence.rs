@@ -13,7 +13,7 @@ use bba_features::{
     KeypointConfig, MatcherConfig, RansacConfig,
 };
 use bba_geometry::{Iso2, Vec2};
-use bba_signal::{Grid, LogGaborConfig, MaxIndexMap};
+use bba_signal::{FftWorkspace, Grid, LogGaborBank, LogGaborConfig, MaxIndexMap};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,6 +48,28 @@ proptest! {
         let serial = bba_par::with_threads(1, || MaxIndexMap::compute(&img, &cfg));
         let wide = bba_par::with_threads(threads, || MaxIndexMap::compute(&img, &cfg));
         prop_assert_eq!(serial, wide);
+    }
+
+    /// The workspace fast path (planned real FFT, packed inverse pairs,
+    /// per-orientation lanes) at every width 1–8 against the serial
+    /// fresh-workspace run — and workspace reuse must not change bits
+    /// either.
+    #[test]
+    fn workspace_mim_bit_identical_across_thread_counts(
+        sp in spikes(),
+    ) {
+        let img = image_from_spikes(&sp);
+        let bank = LogGaborBank::new(SIZE, SIZE, LogGaborConfig::default());
+        let serial = bba_par::with_threads(1, || {
+            MaxIndexMap::compute_with_workspace(&img, &bank, &mut FftWorkspace::new())
+        });
+        let mut ws = FftWorkspace::new();
+        for threads in 1usize..=8 {
+            let wide = bba_par::with_threads(threads, || {
+                MaxIndexMap::compute_with_workspace(&img, &bank, &mut ws)
+            });
+            prop_assert_eq!(&serial, &wide, "diverged at {} threads", threads);
+        }
     }
 
     #[test]
