@@ -147,7 +147,7 @@ pub fn vips_match(
     // Candidate shortlist: the strongest eigenvector entries (conflicts
     // allowed at this point).
     let mut order: Vec<usize> = (0..num_c).filter(|&c| support[c] > 0.0 && x[c] > 0.0).collect();
-    order.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap());
+    order.sort_by(|&a, &b| x[b].total_cmp(&x[a]));
     let shortlist_len = order.len().min((4 * n.max(m)).max(16));
     let shortlist = &order[..shortlist_len];
     if shortlist.len() < 2 {
@@ -174,7 +174,7 @@ pub fn vips_match(
                 }
             }
         }
-        pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        pairs.sort_by(|a, b| a.2.total_cmp(&b.2));
         let mut used_s = vec![false; n];
         let mut used_d = vec![false; m];
         let mut set = Vec::new();

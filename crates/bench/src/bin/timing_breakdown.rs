@@ -2,19 +2,22 @@
 //!
 //! The paper calls BB-Align "lightweight" and names the time efficiency of
 //! BV image matching as future work. This binary measures each phase of
-//! the pipeline on real simulated frames: BV rasterisation, MIM
-//! computation (the FFT-bound phase), keypoints, descriptors + matching +
-//! RANSAC (stage 1), and box alignment (stage 2). Every phase is timed
-//! twice — under a 1-thread budget and under the full `--threads` budget —
-//! so the table doubles as a scaling report for the `bba-par` substrate.
-//! See also `cargo bench -p bba-bench` for Criterion-grade statistics.
+//! the pipeline on real simulated frames: BV rasterisation, then stage 1
+//! split into its in-situ phases via [`BbAlign::match_bv_timed`] — MIM
+//! computation (the FFT-bound part), keypoint detection, descriptor work
+//! (the sample-once pass plus every per-hypothesis re-bin), descriptor
+//! matching (the blocked dot-product kernel), and RANSAC — and finally box
+//! alignment (stage 2). Every phase is timed twice — under a 1-thread
+//! budget and under the full `--threads` budget — so the table doubles as
+//! a scaling report for the `bba-par` substrate. See also
+//! `cargo bench -p bba-bench --bench stage1` for kernel-vs-naive
+//! micro-benchmarks with Criterion-grade statistics.
 
 use bb_align::{BbAlign, BbAlignConfig};
 use bba_bench::cli;
 use bba_bench::report::{banner, opt, print_table, write_results_json};
 use bba_bench::stats::percentile;
 use bba_dataset::{Dataset, DatasetConfig};
-use bba_signal::{FftWorkspace, LogGaborBank, MaxIndexMap};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -28,6 +31,10 @@ const SPEEDUP_NOISE_FLOOR_MS: f64 = 0.5;
 struct Samples {
     bev: Vec<f64>,
     mim: Vec<f64>,
+    detect: Vec<f64>,
+    describe: Vec<f64>,
+    matching: Vec<f64>,
+    ransac: Vec<f64>,
     stage1: Vec<f64>,
     stage2: Vec<f64>,
     total: Vec<f64>,
@@ -49,11 +56,6 @@ fn main() {
     );
 
     let aligner = BbAlign::new(engine.clone());
-    let bank = LogGaborBank::new(h, h, engine.log_gabor.clone());
-    // Steady-state scratch, sized on the first frame and recycled for the
-    // rest — the MIM phase then allocates nothing per frame.
-    let mut ws_ego = FftWorkspace::new();
-    let mut ws_other = FftWorkspace::new();
 
     let mut serial = Samples::default();
     let mut parallel = Samples::default();
@@ -83,24 +85,9 @@ fn main() {
                 );
                 let ms_bev = t0.elapsed().as_secs_f64() * 1e3;
 
-                // MIM alone (both images) — measured separately because
-                // recovery recomputes it internally.
+                // Stage 1, with the in-situ per-phase breakdown.
                 let t0 = Instant::now();
-                let (_, _) = bba_par::join(
-                    || MaxIndexMap::compute_with_workspace(ego.bev().grid(), &bank, &mut ws_ego),
-                    || {
-                        MaxIndexMap::compute_with_workspace(
-                            other.bev().grid(),
-                            &bank,
-                            &mut ws_other,
-                        )
-                    },
-                );
-                let ms_mim = t0.elapsed().as_secs_f64() * 1e3;
-
-                // Stage 1 (includes its own MIM computation).
-                let t0 = Instant::now();
-                let Ok(bv) = aligner.match_bv(&ego, &other, r) else {
+                let Ok((bv, timing)) = aligner.match_bv_timed(&ego, &other, r) else {
                     eprintln!("  [pair {s}: stage 1 failed, skipping]");
                     ok = false;
                     return;
@@ -113,7 +100,11 @@ fn main() {
                 let ms_stage2 = t0.elapsed().as_secs_f64() * 1e3;
 
                 out.bev.push(ms_bev);
-                out.mim.push(ms_mim);
+                out.mim.push(timing.mim_ms);
+                out.detect.push(timing.detect_ms);
+                out.describe.push(timing.describe_ms);
+                out.matching.push(timing.match_ms);
+                out.ransac.push(timing.ransac_ms + timing.verify_ms);
                 out.stage1.push(ms_stage1);
                 out.stage2.push(ms_stage2);
                 out.total.push(ms_bev + ms_stage1 + ms_stage2);
@@ -156,8 +147,12 @@ fn main() {
     };
     let phases = [
         phase("BV rasterisation (2 cars)", &serial.bev, &parallel.bev),
-        phase("Log-Gabor MIM (2 images)", &serial.mim, &parallel.mim),
-        phase("stage 1 total (MIM + match + RANSAC)", &serial.stage1, &parallel.stage1),
+        phase("stage 1: Log-Gabor MIM (2 images)", &serial.mim, &parallel.mim),
+        phase("stage 1: keypoint detection", &serial.detect, &parallel.detect),
+        phase("stage 1: describe (sample + re-bin)", &serial.describe, &parallel.describe),
+        phase("stage 1: descriptor matching", &serial.matching, &parallel.matching),
+        phase("stage 1: RANSAC + verification", &serial.ransac, &parallel.ransac),
+        phase("stage 1 total", &serial.stage1, &parallel.stage1),
         phase("stage 2 (box alignment)", &serial.stage2, &parallel.stage2),
         phase("end-to-end recovery", &serial.total, &parallel.total),
     ];
@@ -218,8 +213,9 @@ fn main() {
     );
 
     println!(
-        "\nNote: stage 1 dominates (the paper's future-work point); stage 2 is\n\
-         microseconds. The MIM row shows how much of stage 1 is FFT-bound —\n\
-         the part bba-par parallelises over filters, rows and the two cars."
+        "\nNote: the stage-1 rows are measured in situ by match_bv_timed, so\n\
+         they sum to slightly less than the stage-1 total (frame glue). The\n\
+         describe row covers the sample-once pass plus every per-hypothesis\n\
+         re-bin; matching runs the blocked dot-product kernel."
     );
 }

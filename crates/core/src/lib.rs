@@ -65,6 +65,8 @@ pub mod wire;
 
 pub use config::{BbAlignConfig, BoxPairing, KeypointSource};
 pub use frame::PerceptionFrame;
-pub use recover::{BbAlign, BoxAlignment, BvMatch, RecoverError, Recovery};
+pub use recover::{
+    AlignmentScorer, BbAlign, BoxAlignment, BvMatch, RecoverError, Recovery, Stage1Timing,
+};
 pub use tracking::{PoseTracker, TrackerConfig};
 pub use wire::{decode_frame, encode_frame, DecodeError, WireReport};

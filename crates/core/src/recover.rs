@@ -2,9 +2,10 @@
 
 use crate::config::BbAlignConfig;
 use crate::frame::{FrameBox, PerceptionFrame};
-use bba_bev::BevImage;
+use bba_bev::{BevConfig, BevImage};
 use bba_features::{
-    describe_keypoints_rotated, detect_keypoints, match_descriptors, ransac_rigid, RansacError,
+    detect_keypoints, match_sets, ransac_rigid, DescriptorSet, PatchSamples, RansacError,
+    RotationSweep,
 };
 use bba_geometry::{BevBox, Box3, Iso2, Iso3, Vec2, Vec3};
 use bba_signal::{FftWorkspace, LogGaborBank, MaxIndexMap};
@@ -13,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Stage-1 result: the BV image-matching alignment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +29,31 @@ pub struct BvMatch {
     pub matches: usize,
     /// Keypoints detected on the ego / other BV image.
     pub keypoints: (usize, usize),
+}
+
+/// Wall-clock breakdown of one stage-1 run, phase by phase.
+///
+/// Filled by [`BbAlign::match_bv_timed`]; the describe / match / RANSAC
+/// entries accumulate over every rotation hypothesis actually swept. Pure
+/// instrumentation — the timed and untimed paths execute the same
+/// operations on the same data, so results are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Stage1Timing {
+    /// Log-Gabor MIM computation for both BV images (ms).
+    pub mim_ms: f64,
+    /// Keypoint detection on both images (ms).
+    pub detect_ms: f64,
+    /// Descriptor work (ms): the sample-once pass for both images plus
+    /// every per-hypothesis re-bin.
+    pub describe_ms: f64,
+    /// Descriptor matching across all hypotheses (ms).
+    pub match_ms: f64,
+    /// RANSAC model extraction across all hypotheses (ms).
+    pub ransac_ms: f64,
+    /// Candidate alignment verification (ms; 0 unless enabled and needed).
+    pub verify_ms: f64,
+    /// Rotation hypotheses actually swept before the early exit.
+    pub hypotheses_swept: usize,
 }
 
 /// Stage-2 result: the box-corner refinement.
@@ -127,10 +154,27 @@ impl Error for RecoverError {
 pub struct BbAlign {
     config: BbAlignConfig,
     bank: OnceLock<LogGaborBank>,
+    /// Precomputed rotation-hypothesis binning tables (angle → offset→cell
+    /// lookup); configuration-only, so built once and shared.
+    sweep: OnceLock<RotationSweep>,
     /// Pool of FFT scratch workspaces, recycled across recoveries so the
     /// steady-state MIM computation allocates nothing per frame. Two are in
     /// flight per `match_bv` call (one per car's BV image).
     workspaces: Mutex<Vec<FftWorkspace>>,
+    /// Pool of stage-1 describe scratch (patch-sample buffers + descriptor
+    /// sets), recycled for the same reason; one set is in flight per
+    /// `match_bv` call.
+    stage1_scratch: Mutex<Vec<Stage1Scratch>>,
+}
+
+/// Reusable stage-1 buffers: the hypothesis-invariant patch samples of both
+/// images and the descriptor sets they are re-binned into.
+#[derive(Debug, Default)]
+struct Stage1Scratch {
+    ego_samples: PatchSamples,
+    other_samples: PatchSamples,
+    ego_set: DescriptorSet,
+    other_set: DescriptorSet,
 }
 
 impl BbAlign {
@@ -142,7 +186,13 @@ impl BbAlign {
     /// (see [`BbAlignConfig::validate`]).
     pub fn new(config: BbAlignConfig) -> Self {
         config.validate();
-        BbAlign { config, bank: OnceLock::new(), workspaces: Mutex::new(Vec::new()) }
+        BbAlign {
+            config,
+            bank: OnceLock::new(),
+            sweep: OnceLock::new(),
+            workspaces: Mutex::new(Vec::new()),
+            stage1_scratch: Mutex::new(Vec::new()),
+        }
     }
 
     /// The engine configuration.
@@ -154,6 +204,20 @@ impl BbAlign {
         self.bank.get_or_init(|| {
             let h = self.config.bev.image_size();
             LogGaborBank::new(h, h, self.config.log_gabor.clone())
+        })
+    }
+
+    fn sweep(&self) -> &RotationSweep {
+        self.sweep.get_or_init(|| {
+            let hypotheses = self.config.rotation_hypotheses.max(1);
+            let angles: Vec<f64> = (0..hypotheses)
+                .map(|k| k as f64 * std::f64::consts::TAU / hypotheses as f64)
+                .collect();
+            RotationSweep::new(
+                &self.config.descriptor,
+                self.config.log_gabor.num_orientations,
+                &angles,
+            )
         })
     }
 
@@ -187,10 +251,42 @@ impl BbAlign {
         other: &PerceptionFrame,
         rng: &mut R,
     ) -> Result<BvMatch, RecoverError> {
+        self.match_bv_timed(ego, other, rng).map(|(bv, _)| bv)
+    }
+
+    /// [`BbAlign::match_bv`] plus a per-phase wall-clock breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BbAlign::match_bv`].
+    pub fn match_bv_timed<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        rng: &mut R,
+    ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
+        let mut scratch = {
+            let mut pool = self.stage1_scratch.lock().expect("stage-1 scratch pool lock");
+            pool.pop().unwrap_or_default()
+        };
+        let out = self.match_bv_inner(ego, other, rng, &mut scratch);
+        self.stage1_scratch.lock().expect("stage-1 scratch pool lock").push(scratch);
+        out
+    }
+
+    fn match_bv_inner<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        rng: &mut R,
+        scratch: &mut Stage1Scratch,
+    ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
         if ego.bev().config() != other.bev().config() {
             return Err(RecoverError::GeometryMismatch);
         }
         let cfg = &self.config;
+        let mut timing = Stage1Timing::default();
+        let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
 
         // MIM feature maps (needed for descriptors, and by default also as
         // the keypoint-detection image). The two cars' BV→MIM pipelines are
@@ -201,10 +297,12 @@ impl BbAlign {
             let mut pool = self.workspaces.lock().expect("workspace pool lock");
             (pool.pop().unwrap_or_default(), pool.pop().unwrap_or_default())
         };
+        let t = Instant::now();
         let (mim_ego, mim_other) = bba_par::join(
             || MaxIndexMap::compute_with_workspace(ego.bev().grid(), bank, &mut ws_ego),
             || MaxIndexMap::compute_with_workspace(other.bev().grid(), bank, &mut ws_other),
         );
+        timing.mim_ms = ms(t);
         {
             let mut pool = self.workspaces.lock().expect("workspace pool lock");
             pool.push(ws_ego);
@@ -225,53 +323,70 @@ impl BbAlign {
                 detect_keypoints(&normalised, &cfg.keypoints)
             }
         };
+        let t = Instant::now();
         let kp_ego = detect(ego, &mim_ego);
         if kp_ego.is_empty() {
             return Err(RecoverError::NoKeypoints { side: "ego" });
         }
         let kp_other = detect(other, &mim_other);
+        timing.detect_ms = ms(t);
         if kp_other.is_empty() {
             return Err(RecoverError::NoKeypoints { side: "other" });
         }
 
-        // Ego descriptors once, unrotated; the other side is described under
-        // a sweep of global rotation hypotheses (RIFT-style). Per-patch
-        // orientation normalisation is deliberately avoided: estimating an
-        // angle from view-dependent samples is unstable, while a global
-        // hypothesis keeps the descriptors raw and discriminative.
-        let desc_ego = describe_keypoints_rotated(&mim_ego, &kp_ego, &cfg.descriptor, 0.0);
-        if desc_ego.is_empty() {
+        // Descriptors. Per-patch orientation normalisation is deliberately
+        // avoided: estimating an angle from view-dependent samples is
+        // unstable, while a global rotation hypothesis (RIFT-style, swept
+        // below) keeps the descriptors raw and discriminative. Each image
+        // is *sampled* exactly once — the per-hypothesis work is only the
+        // cheap re-binning of the cached samples. The ego side is re-binned
+        // once at hypothesis 0 (angle 0), the other side once per swept
+        // hypothesis.
+        let sweep = self.sweep();
+        let Stage1Scratch { ego_samples, other_samples, ego_set, other_set } = scratch;
+        let t = Instant::now();
+        bba_par::join(
+            || ego_samples.sample(&mim_ego, &kp_ego, &cfg.descriptor),
+            || other_samples.sample(&mim_other, &kp_other, &cfg.descriptor),
+        );
+        ego_samples.rebin_into(sweep, 0, ego_set);
+        timing.describe_ms = ms(t);
+        if ego_set.is_empty() {
             return Err(RecoverError::NoKeypoints { side: "ego" });
         }
         let pix = |kp: &bba_features::Keypoint| Vec2::new(kp.u as f64 + 0.5, kp.v as f64 + 0.5);
 
-        let hypotheses = cfg.rotation_hypotheses.max(1);
+        let hypotheses = sweep.hypotheses();
         let mut candidates: Vec<(bba_features::RansacResult, usize)> = Vec::new();
         let mut any_descriptors = false;
         let mut any_matches = false;
         let mut last_ransac_err = None;
         'sweep: for k in 0..hypotheses {
-            let angle = k as f64 * std::f64::consts::TAU / hypotheses as f64;
-            let desc_other =
-                describe_keypoints_rotated(&mim_other, &kp_other, &cfg.descriptor, angle);
-            if desc_other.is_empty() {
+            timing.hypotheses_swept = k + 1;
+            let t = Instant::now();
+            other_samples.rebin_into(sweep, k, other_set);
+            timing.describe_ms += ms(t);
+            if other_set.is_empty() {
                 continue;
             }
             any_descriptors = true;
-            let matches = match_descriptors(&desc_other, &desc_ego, &cfg.matcher);
+            let t = Instant::now();
+            let matches = match_sets(other_set, ego_set, &cfg.matcher);
+            timing.match_ms += ms(t);
             if matches.len() < 2 {
                 continue;
             }
             any_matches = true;
             let mut src: Vec<Vec2> =
-                matches.iter().map(|m| pix(&desc_other[m.src].keypoint)).collect();
-            let mut dst: Vec<Vec2> =
-                matches.iter().map(|m| pix(&desc_ego[m.dst].keypoint)).collect();
+                matches.iter().map(|m| pix(other_set.keypoint(m.src))).collect();
+            let mut dst: Vec<Vec2> = matches.iter().map(|m| pix(ego_set.keypoint(m.dst))).collect();
 
             // Sequential RANSAC: extract up to `stage1_candidates` disjoint
             // consensus models per hypothesis. In self-similar corridors an
             // aliased model often out-votes the true one, so surfacing
             // runner-up models for global verification is essential.
+            let t = Instant::now();
+            let mut stop_sweep = false;
             for _ in 0..cfg.stage1_candidates.max(1) {
                 match ransac_rigid(&src, &dst, &cfg.ransac_bv, rng) {
                     Ok(result) => {
@@ -290,7 +405,8 @@ impl BbAlign {
                             (0..src.len()).filter(|i| !inlier_set.contains(i)).collect();
                         candidates.push((result, matches.len()));
                         if strong {
-                            break 'sweep;
+                            stop_sweep = true;
+                            break;
                         }
                         if keep.len() < cfg.ransac_bv.min_inliers.max(2) {
                             break;
@@ -303,6 +419,10 @@ impl BbAlign {
                         break;
                     }
                 }
+            }
+            timing.ransac_ms += ms(t);
+            if stop_sweep {
+                break 'sweep;
             }
         }
 
@@ -320,22 +440,23 @@ impl BbAlign {
 
         // Pick the winning candidate: by global BEV occupancy alignment
         // when verification is enabled (keypoint inliers break ties), by
-        // inlier count otherwise.
+        // inlier count otherwise. The ego occupancy mask is dilated once
+        // and shared across all candidate scores.
         let (result, matches) = if cfg.alignment_verification && candidates.len() > 1 {
-            candidates
+            let t = Instant::now();
+            let scorer = AlignmentScorer::new(ego.bev());
+            let picked = candidates
                 .into_iter()
                 .map(|(r, m)| {
                     let world = self.pixel_to_world_transform(&r.transform);
-                    let score = alignment_score(ego.bev(), other.bev(), &world);
+                    let score = scorer.score(other.bev(), &world);
                     (score, r, m)
                 })
-                .max_by(|a, b| {
-                    (a.0, a.1.num_inliers)
-                        .partial_cmp(&(b.0, b.1.num_inliers))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .max_by(|a, b| a.0.total_cmp(&b.0).then(a.1.num_inliers.cmp(&b.1.num_inliers)))
                 .map(|(_, r, m)| (r, m))
-                .expect("candidates is nonempty")
+                .expect("candidates is nonempty");
+            timing.verify_ms = ms(t);
+            picked
         } else {
             candidates
                 .into_iter()
@@ -343,13 +464,16 @@ impl BbAlign {
                 .expect("candidates is nonempty")
         };
 
-        Ok(BvMatch {
-            transform: self.pixel_to_world_transform(&result.transform),
-            transform_pixels: result.transform,
-            inliers: result.num_inliers,
-            matches,
-            keypoints: (kp_ego.len(), kp_other.len()),
-        })
+        Ok((
+            BvMatch {
+                transform: self.pixel_to_world_transform(&result.transform),
+                transform_pixels: result.transform,
+                inliers: result.num_inliers,
+                matches,
+                keypoints: (kp_ego.len(), kp_other.len()),
+            },
+            timing,
+        ))
     }
 
     /// Converts a rigid transform expressed in continuous pixel coordinates
@@ -395,7 +519,7 @@ impl BbAlign {
                 }
             }
         }
-        candidates.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        candidates.sort_by(|a, b| a.2.total_cmp(&b.2));
         let mut used_other = vec![false; other_boxes.len()];
         let mut used_ego = vec![false; ego_boxes.len()];
         let mut src = Vec::new();
@@ -483,51 +607,91 @@ impl BbAlign {
     }
 }
 
-/// Global BEV occupancy alignment score of a candidate transform: the
-/// fraction of the other image's occupied cells that land within one cell
-/// of an occupied ego cell after the transform (cells mapping outside the
-/// ego raster are excluded from the denominator).
+/// Global BEV occupancy alignment scoring with a precomputed, shared ego
+/// mask.
 ///
 /// Keypoint inlier counts measure *local* agreement around matched
-/// features; this score measures *global* agreement of everything both
-/// cars rasterised — the quantity that separates the true transform from a
-/// locally self-similar alias.
-pub fn alignment_score(ego: &BevImage, other: &BevImage, transform: &Iso2) -> f64 {
-    let bev = ego.config();
-    let ego_grid = ego.grid();
-    let h = ego_grid.width() as isize;
-    let mut mapped = 0usize;
-    let mut hits = 0usize;
-    for (u, v, &x) in other.grid().iter_cells() {
-        if x <= 1e-9 {
-            continue;
-        }
-        let world = transform.apply(bev.pixel_center(u, v));
-        let p = bev.world_to_pixel_f(world);
-        let (eu, ev) = (p.x.floor() as isize, p.y.floor() as isize);
-        if eu < 0 || ev < 0 || eu >= h || ev >= h {
-            continue;
-        }
-        mapped += 1;
-        let mut hit = false;
-        'win: for du in -1..=1isize {
-            for dv in -1..=1isize {
-                let (a, b) = (eu + du, ev + dv);
-                if a >= 0 && b >= 0 && a < h && b < h && ego_grid[(a as usize, b as usize)] > 1e-9 {
-                    hit = true;
-                    break 'win;
+/// features; the alignment score measures *global* agreement of everything
+/// both cars rasterised — the quantity that separates the true transform
+/// from a locally self-similar alias.
+///
+/// Construction dilates the ego image's occupancy by one cell (3×3) once;
+/// every subsequent [`AlignmentScorer::score`] is then a single mask probe
+/// per mapped cell instead of a 3×3 occupancy re-scan, which is what makes
+/// scoring many candidate transforms against one ego image cheap.
+#[derive(Debug, Clone)]
+pub struct AlignmentScorer {
+    bev: BevConfig,
+    /// Row-major: cell `(u, v)` is true iff any ego cell within the 3×3
+    /// window around it is occupied.
+    dilated: Vec<bool>,
+    size: usize,
+}
+
+impl AlignmentScorer {
+    /// Precomputes the dilated occupancy mask of the ego image.
+    pub fn new(ego: &BevImage) -> Self {
+        let grid = ego.grid();
+        let size = grid.width();
+        let h = size as isize;
+        let mut dilated = vec![false; size * grid.height()];
+        bba_par::par_for_rows(&mut dilated, size, |v, row| {
+            for (u, out) in row.iter_mut().enumerate() {
+                'win: for du in -1..=1isize {
+                    for dv in -1..=1isize {
+                        let (a, b) = (u as isize + du, v as isize + dv);
+                        if a >= 0
+                            && b >= 0
+                            && a < h
+                            && b < h
+                            && grid[(a as usize, b as usize)] > 1e-9
+                        {
+                            *out = true;
+                            break 'win;
+                        }
+                    }
                 }
             }
-        }
-        if hit {
-            hits += 1;
-        }
+        });
+        AlignmentScorer { bev: *ego.config(), dilated, size }
     }
-    if mapped < 30 {
-        // Too little co-visible content for the score to mean anything.
-        return 0.0;
+
+    /// The fraction of the other image's occupied cells that land within
+    /// one cell of an occupied ego cell after `transform` (cells mapping
+    /// outside the ego raster are excluded from the denominator).
+    pub fn score(&self, other: &BevImage, transform: &Iso2) -> f64 {
+        let bev = &self.bev;
+        let h = self.size as isize;
+        let mut mapped = 0usize;
+        let mut hits = 0usize;
+        for (u, v, &x) in other.grid().iter_cells() {
+            if x <= 1e-9 {
+                continue;
+            }
+            let world = transform.apply(bev.pixel_center(u, v));
+            let p = bev.world_to_pixel_f(world);
+            let (eu, ev) = (p.x.floor() as isize, p.y.floor() as isize);
+            if eu < 0 || ev < 0 || eu >= h || ev >= h {
+                continue;
+            }
+            mapped += 1;
+            if self.dilated[ev as usize * self.size + eu as usize] {
+                hits += 1;
+            }
+        }
+        if mapped < 30 {
+            // Too little co-visible content for the score to mean anything.
+            return 0.0;
+        }
+        hits as f64 / mapped as f64
     }
-    hits as f64 / mapped as f64
+}
+
+/// One-shot convenience wrapper: builds an [`AlignmentScorer`] for `ego`
+/// and scores `transform`. Prefer the scorer directly when evaluating
+/// several candidate transforms against the same ego image.
+pub fn alignment_score(ego: &BevImage, other: &BevImage, transform: &Iso2) -> f64 {
+    AlignmentScorer::new(ego).score(other, transform)
 }
 
 #[cfg(test)]

@@ -86,7 +86,7 @@ pub fn average_precision(
         let mut taken = vec![false; gts.len()];
         // Descending confidence within the frame.
         let mut order: Vec<usize> = (0..dets.len()).collect();
-        order.sort_by(|&a, &b| dets[b].confidence.partial_cmp(&dets[a].confidence).unwrap());
+        order.sort_by(|&a, &b| dets[b].confidence.total_cmp(&dets[a].confidence));
         for &di in &order {
             let det = &dets[di];
             let mut best_iou = 0.0;
@@ -120,7 +120,7 @@ pub fn average_precision(
     }
 
     // Global descending-confidence sweep.
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut recalls = Vec::with_capacity(scored.len());

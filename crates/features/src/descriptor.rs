@@ -5,9 +5,23 @@
 //! Keypoints & Computing Descriptors"). Because MIM values are orientation
 //! *indices*, rotating the image rotates both the patch content **and** the
 //! index values; the descriptor therefore (1) estimates the patch's
-//! dominant orientation, (2) samples the patch in a rotated frame, and
-//! (3) shifts every sampled index by the dominant orientation — the
-//! BVFT/ORB-style normalisation the paper adopts from \[27\]/\[34\].
+//! dominant orientation, (2) assigns every pixel to a grid cell of the
+//! rotated patch frame, and (3) shifts every sampled index by the dominant
+//! orientation — the BVFT/ORB-style normalisation the paper adopts from
+//! \[27\]/\[34\].
+//!
+//! # Sampling convention
+//!
+//! A rotated patch is sampled by *inverse mapping*: the descriptor visits
+//! every image pixel inside the patch's reach window once, rotates the
+//! pixel's offset back into the patch frame, and bins it into the grid cell
+//! it lands in (pixels falling outside the rotated `J×J` square are
+//! skipped). Compared to forward-sampling a rotated grid this reads each
+//! pixel at most once and — crucially — makes the *sample set per keypoint
+//! independent of the rotation*: only the cell assignment and the
+//! orientation-index shift depend on the angle. That is what the sweep fast
+//! path ([`crate::sweep`]) exploits to sample each patch once and re-bin it
+//! per rotation hypothesis.
 
 use crate::keypoints::Keypoint;
 use bba_signal::MaxIndexMap;
@@ -86,6 +100,93 @@ impl Descriptor {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared primitives. The naive per-angle path below and the sample-once
+// sweep fast path (`crate::sweep`) both call these exact functions, so the
+// two implementations are bit-identical by construction — the equivalence
+// proptests then verify the claim rather than a tolerance.
+// ---------------------------------------------------------------------------
+
+/// Half the patch diagonal, rounded up: a keypoint must be at least this far
+/// from every image border for the patch to stay in bounds under *any*
+/// rotation.
+pub(crate) fn patch_reach(patch_size: usize) -> isize {
+    (patch_size as f64 / 2.0 * std::f64::consts::SQRT_2).ceil() as isize
+}
+
+/// The continuous orientation-index shift matching a patch rotation.
+pub(crate) fn bin_shift_of(rotation: f64, n_o: usize) -> f64 {
+    rotation / (PI / n_o as f64)
+}
+
+/// Maps an integer pixel offset `(du, dv)` from the patch centre to the
+/// grid cell it lands in after rotating the patch frame by the angle whose
+/// sine/cosine are `(rs, rc)`. Returns `None` when the offset falls outside
+/// the rotated `J×J` square. `half = J/2`, `cell_px = J/l`.
+pub(crate) fn grid_cell(
+    du: isize,
+    dv: isize,
+    rs: f64,
+    rc: f64,
+    half: f64,
+    cell_px: f64,
+    l: usize,
+) -> Option<usize> {
+    // Inverse rotation: image offset → patch coordinates.
+    let x = rc * du as f64 + rs * dv as f64;
+    let y = -rs * du as f64 + rc * dv as f64;
+    let fx = x + half;
+    let fy = y + half;
+    if fx < 0.0 || fy < 0.0 || fx >= 2.0 * half || fy >= 2.0 * half {
+        return None;
+    }
+    let gu = ((fx / cell_px) as usize).min(l - 1);
+    let gv = ((fy / cell_px) as usize).min(l - 1);
+    Some(gv * l + gu)
+}
+
+/// The histogram contribution of a sample with amplitude `amp`.
+pub(crate) fn sample_weight(amp: f64, weighting: SampleWeighting) -> f64 {
+    match weighting {
+        SampleWeighting::Amplitude => amp,
+        SampleWeighting::SqrtAmplitude => amp.sqrt(),
+        SampleWeighting::Binary => 1.0,
+    }
+}
+
+/// Soft-bins one sample: the orientation index is shifted by the continuous
+/// `bin_shift` and the weight split linearly between the two adjacent bins —
+/// hard binning would reintroduce the quantisation the continuous dominant-
+/// orientation estimate removed.
+pub(crate) fn soft_bin(
+    vector: &mut [f32],
+    cell_base: usize,
+    raw_index: u8,
+    bin_shift: f64,
+    n_o: usize,
+    weight: f64,
+) {
+    let shifted = (raw_index as f64 - bin_shift).rem_euclid(n_o as f64);
+    let lo = (shifted.floor() as usize) % n_o;
+    let hi = (lo + 1) % n_o;
+    let frac = shifted - shifted.floor();
+    vector[cell_base + lo] += (weight * (1.0 - frac)) as f32;
+    vector[cell_base + hi] += (weight * frac) as f32;
+}
+
+/// L2-normalises a descriptor vector in place. Returns `false` (vector
+/// untouched, necessarily all zero) when there is nothing to normalise.
+pub(crate) fn l2_normalize(vector: &mut [f32]) -> bool {
+    let norm: f32 = vector.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm <= 0.0 {
+        return false;
+    }
+    for x in vector {
+        *x /= norm;
+    }
+    true
+}
+
 /// Computes descriptors for all keypoints far enough from the border to fit
 /// a full patch. Keypoints whose patch contains no significant MIM samples
 /// are dropped.
@@ -128,6 +229,12 @@ fn describe_all(
 /// `0` finds correspondences between images that differ by a rotation of
 /// `δ`; sweeping `δ` over multiples of `π / N_o` gives exact MIM index
 /// shifts and covers all relative headings.
+///
+/// This is the naive reference implementation: it re-scans the patch per
+/// angle. The production sweep path samples each patch once and re-bins it
+/// per hypothesis ([`crate::sweep::PatchSamples`]), producing bit-identical
+/// descriptors — the `sweep_matches_naive_describe` proptest holds the two
+/// together.
 pub fn describe_keypoints_rotated(
     mim: &MaxIndexMap,
     keypoints: &[Keypoint],
@@ -135,6 +242,47 @@ pub fn describe_keypoints_rotated(
     angle: f64,
 ) -> Vec<Descriptor> {
     describe_all(mim, keypoints, config, Some(angle))
+}
+
+/// First pass over the axis-aligned `J×J` window: the gating maximum
+/// amplitude, plus (only when a dominant orientation is needed) the
+/// circular-mean trig sums and the amplitude centroid.
+pub(crate) struct PatchStats {
+    pub max_amp: f64,
+    pub sin2: f64,
+    pub cos2: f64,
+    pub centroid_x: f64,
+    pub centroid_y: f64,
+}
+
+pub(crate) fn patch_stats(
+    mim: &MaxIndexMap,
+    cu: isize,
+    cv: isize,
+    half: isize,
+    with_orientation: bool,
+) -> PatchStats {
+    let n_o = mim.num_orientations;
+    let mut s = PatchStats { max_amp: 0.0, sin2: 0.0, cos2: 0.0, centroid_x: 0.0, centroid_y: 0.0 };
+    for dv in -half..half {
+        for du in -half..half {
+            let (u, v) = ((cu + du) as usize, (cv + dv) as usize);
+            let amp = mim.amplitude[(u, v)];
+            if amp > 0.0 {
+                if with_orientation {
+                    // Orientations are π-periodic, so the circular mean is
+                    // taken on doubled angles.
+                    let theta = (mim.index[(u, v)] as f64 + 0.5) * PI / n_o as f64;
+                    s.sin2 += amp * (2.0 * theta).sin();
+                    s.cos2 += amp * (2.0 * theta).cos();
+                    s.centroid_x += amp * du as f64;
+                    s.centroid_y += amp * dv as f64;
+                }
+                s.max_amp = s.max_amp.max(amp);
+            }
+        }
+    }
+    s
 }
 
 fn describe_one(
@@ -152,54 +300,36 @@ fn describe_one(
 
     // Reject patches that would leave the image even after rotation
     // (diagonal half-extent).
-    let reach = (half * std::f64::consts::SQRT_2).ceil() as isize;
+    let reach = patch_reach(j);
     let (cu, cv) = (kp.u as isize, kp.v as isize);
     if cu - reach < 0 || cv - reach < 0 || cu + reach >= w || cv + reach >= h {
         return None;
     }
 
-    // Pass 1: dominant orientation of the patch. Orientations are
-    // π-periodic, so the amplitude-weighted circular mean is taken on
-    // doubled angles: θ_dom = ½·atan2(Σ w·sin 2θ, Σ w·cos 2θ). A
-    // *continuous* estimate (rather than the strongest bin) is essential:
-    // bin-quantised normalisation leaves up to half a bin (7.5° at
-    // N_o = 12) of uncompensated rotation, which destroys matches between
-    // views rotated by odd angles.
-    let mut sin2 = 0.0f64;
-    let mut cos2 = 0.0f64;
-    let mut centroid_x = 0.0f64;
-    let mut centroid_y = 0.0f64;
-    let mut max_amp = 0.0f64;
-    for dv in -(half as isize)..(half as isize) {
-        for du in -(half as isize)..(half as isize) {
-            let (u, v) = ((cu + du) as usize, (cv + dv) as usize);
-            let amp = mim.amplitude[(u, v)];
-            if amp > 0.0 {
-                let theta = (mim.index[(u, v)] as f64 + 0.5) * PI / n_o as f64;
-                sin2 += amp * (2.0 * theta).sin();
-                cos2 += amp * (2.0 * theta).cos();
-                centroid_x += amp * du as f64;
-                centroid_y += amp * dv as f64;
-                max_amp = max_amp.max(amp);
-            }
-        }
-    }
-    if max_amp <= 0.0 {
+    // Pass 1: gating maximum, and — only when this patch normalises to its
+    // own orientation — the dominant-orientation estimate. A *continuous*
+    // estimate (rather than the strongest bin) is essential: bin-quantised
+    // normalisation leaves up to half a bin (7.5° at N_o = 12) of
+    // uncompensated rotation, which destroys matches between views rotated
+    // by odd angles.
+    let needs_orientation = rotation_override.is_none() && config.rotation_invariant;
+    let stats = patch_stats(mim, cu, cv, half as isize, needs_orientation);
+    if stats.max_amp <= 0.0 {
         return None; // empty patch: nothing to describe
     }
-    let gate = max_amp * config.amplitude_gate;
+    let gate = stats.max_amp * config.amplitude_gate;
 
     let rotation = if let Some(angle) = rotation_override {
         angle
-    } else if config.rotation_invariant && (sin2 != 0.0 || cos2 != 0.0) {
+    } else if needs_orientation && (stats.sin2 != 0.0 || stats.cos2 != 0.0) {
         // Orientations are π-periodic, so the circular mean fixes the
         // canonical frame only modulo π. The amplitude centroid (ORB's
         // intensity-centroid idea) supplies the missing polarity bit: pick
         // the half-turn that points along the centroid direction, which
         // rotates with the content and is therefore consistent across
         // views rotated by ~180°.
-        let base = (0.5 * sin2.atan2(cos2)).rem_euclid(PI);
-        let psi = centroid_y.atan2(centroid_x);
+        let base = (0.5 * stats.sin2.atan2(stats.cos2)).rem_euclid(PI);
+        let psi = stats.centroid_y.atan2(stats.centroid_x);
         if (base - psi).cos() < 0.0 {
             base + PI
         } else {
@@ -208,60 +338,32 @@ fn describe_one(
     } else {
         0.0
     };
-    // Continuous orientation-index shift matching the patch rotation.
-    let bin_shift = rotation / (PI / n_o as f64);
+    let bin_shift = bin_shift_of(rotation, n_o);
     let (rs, rc) = rotation.sin_cos();
 
-    // Pass 2: sample the rotated patch, shift indices, build grid
-    // histograms.
+    // Pass 2 (inverse mapping): every pixel of the reach window whose
+    // offset lands inside the rotated patch square contributes to the grid
+    // cell it falls in, with its orientation index shifted into the patch's
+    // own frame.
     let mut vector = vec![0.0f32; l * l * n_o];
-    let cell = j as f64 / l as f64;
-    for pv in 0..j {
-        for pu in 0..j {
-            // Patch coordinates relative to the centre.
-            let x = pu as f64 + 0.5 - half;
-            let y = pv as f64 + 0.5 - half;
-            // Rotate by +rotation to sample the source image.
-            let su = (cu as f64 + rc * x - rs * y).round() as isize;
-            let sv = (cv as f64 + rs * x + rc * y).round() as isize;
-            if su < 0 || sv < 0 || su >= w || sv >= h {
-                continue;
-            }
-            let (u, v) = (su as usize, sv as usize);
+    let cell_px = j as f64 / l as f64;
+    for dv in -reach..=reach {
+        for du in -reach..=reach {
+            let (u, v) = ((cu + du) as usize, (cv + dv) as usize);
             let amp = mim.amplitude[(u, v)];
             if amp <= gate {
                 continue;
             }
-            // Shift the orientation index by the dominant orientation so the
-            // descriptor is expressed in the patch's own frame. The shift is
-            // continuous, so the weight is split linearly between the two
-            // adjacent bins (soft assignment) — hard binning would
-            // reintroduce the quantisation the continuous estimate removed.
-            let raw = mim.index[(u, v)] as f64;
-            let shifted = (raw - bin_shift).rem_euclid(n_o as f64);
-            let lo = shifted.floor() as usize % n_o;
-            let hi = (lo + 1) % n_o;
-            let frac = shifted - shifted.floor();
-            let gu = ((pu as f64 / cell) as usize).min(l - 1);
-            let gv = ((pv as f64 / cell) as usize).min(l - 1);
-            let w = match config.weighting {
-                SampleWeighting::Amplitude => amp,
-                SampleWeighting::SqrtAmplitude => amp.sqrt(),
-                SampleWeighting::Binary => 1.0,
+            let Some(cell) = grid_cell(du, dv, rs, rc, half, cell_px, l) else {
+                continue;
             };
-            let base = (gv * l + gu) * n_o;
-            vector[base + lo] += (w * (1.0 - frac)) as f32;
-            vector[base + hi] += (w * frac) as f32;
+            let weight = sample_weight(amp, config.weighting);
+            soft_bin(&mut vector, cell * n_o, mim.index[(u, v)], bin_shift, n_o, weight);
         }
     }
 
-    // L2 normalisation.
-    let norm: f32 = vector.iter().map(|x| x * x).sum::<f32>().sqrt();
-    if norm <= 0.0 {
+    if !l2_normalize(&mut vector) {
         return None;
-    }
-    for x in &mut vector {
-        *x /= norm;
     }
     Some(Descriptor { keypoint: kp, vector })
 }
@@ -378,5 +480,18 @@ mod tests {
         let mim = mim_of(&img);
         let d = describe_keypoints(&mim, &[center_kp(128)], &small_cfg());
         assert_eq!(d[0].distance_sq(&d[0]), 0.0);
+    }
+
+    #[test]
+    fn grid_cell_covers_unrotated_patch_exactly() {
+        // At angle 0 the in-patch offsets are exactly the axis-aligned J×J
+        // square [-J/2, J/2), and the corner cells are assigned correctly.
+        let (j, l) = (24usize, 4usize);
+        let half = j as f64 / 2.0;
+        let cell_px = j as f64 / l as f64;
+        assert_eq!(grid_cell(-12, -12, 0.0, 1.0, half, cell_px, l), Some(0));
+        assert_eq!(grid_cell(11, 11, 0.0, 1.0, half, cell_px, l), Some(l * l - 1));
+        assert_eq!(grid_cell(12, 0, 0.0, 1.0, half, cell_px, l), None);
+        assert_eq!(grid_cell(0, -13, 0.0, 1.0, half, cell_px, l), None);
     }
 }

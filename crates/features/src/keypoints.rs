@@ -107,7 +107,7 @@ pub fn detect_keypoints(img: &Grid<f64>, config: &KeypointConfig) -> Vec<Keypoin
     }
 
     // Non-maximum suppression on a coarse occupancy grid.
-    raw.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    raw.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut kept: Vec<Keypoint> = Vec::new();
     if config.nms_radius == 0 {
         kept = raw;

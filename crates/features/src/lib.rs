@@ -12,7 +12,11 @@
 //!    grids, and each grid contributes an `N_o`-bin orientation histogram
 //!    (`l·l·N_o` dimensions total).
 //! 3. [`match_descriptors`] — brute-force nearest-neighbour matching with
-//!    Lowe ratio test and optional mutual-consistency check.
+//!    Lowe ratio test and optional mutual-consistency check. The production
+//!    rotation-hypothesis sweep uses the [`sweep`] fast path instead:
+//!    sample each patch once ([`PatchSamples`]), re-bin per hypothesis into
+//!    a flat [`DescriptorSet`], and match with the blocked dot-product
+//!    kernel [`match_sets`] — bit-identical to the naive pipeline.
 //! 4. [`ransac_rigid`] — RANSAC over 2-point samples fitting a rigid 2-D
 //!    transform; the inlier count it returns is the paper's `Inliers_bv` /
 //!    `Inliers_box` confidence signal.
@@ -40,10 +44,12 @@ pub mod descriptor;
 pub mod keypoints;
 pub mod matcher;
 pub mod ransac;
+pub mod sweep;
 
 pub use descriptor::{
     describe_keypoints, describe_keypoints_rotated, Descriptor, DescriptorConfig, SampleWeighting,
 };
 pub use keypoints::{detect_keypoints, Keypoint, KeypointConfig};
-pub use matcher::{match_descriptors, Match, MatcherConfig};
+pub use matcher::{match_descriptors, match_sets, Match, MatcherConfig};
 pub use ransac::{ransac_rigid, RansacConfig, RansacError, RansacResult};
+pub use sweep::{DescriptorSet, PatchSamples, RotationSweep};

@@ -5,9 +5,31 @@
 //! ratio test rejects ambiguous matches (best ≈ second best), and an
 //! optional mutual-consistency check keeps only pairs that are each other's
 //! nearest neighbours.
+//!
+//! # Dot-product kernel
+//!
+//! Descriptors are L2-normalised, so Euclidean distance reduces to an
+//! inner product: `‖a − b‖² = 2 − 2·⟨a, b⟩`, and because `√` is monotone,
+//! ranking by ascending distance is ranking by *descending dot product*.
+//! The production matcher ([`match_sets`]) exploits this on the flat
+//! [`DescriptorSet`] layout: blocked row×row dot-product loops (one pool
+//! block stays cache-hot across a block of query rows), a top-(k+1)
+//! insertion select instead of sorting the full distance row, and the
+//! distance materialised only for the surviving candidates. A naive
+//! reference ([`match_sets_naive`]) computes the same candidates with a
+//! full sort; both share the same `dot` kernel and selection logic, so
+//! their outputs are bit-identical (pinned by the `kernel_matches_naive`
+//! proptest).
+//!
+//! Numerics: dot products accumulate in `f32` (that is the kernel's speed),
+//! so a distance near zero carries absolute noise of order `√(dim)·ε_f32` —
+//! irrelevant against matching thresholds, but exact zeros are not
+//! preserved the way the old subtract-and-square distance did.
 
 use crate::descriptor::Descriptor;
+use crate::sweep::DescriptorSet;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// A correspondence between descriptor indices of two sets.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,7 +66,203 @@ impl Default for MatcherConfig {
     }
 }
 
-/// Matches `src` descriptors against `dst` descriptors.
+/// Query rows processed per parallel work unit (and per pool-block pass).
+const QUERY_BLOCK: usize = 16;
+
+/// Pool rows per cache block: sized so a block of vectors (~32 KiB) stays
+/// resident while it is streamed against a whole query block.
+fn pool_block_rows(dim: usize) -> usize {
+    (32 * 1024 / (dim.max(1) * std::mem::size_of::<f32>())).clamp(4, 64)
+}
+
+/// Four-lane unrolled dot product. Both the blocked kernel and the naive
+/// reference call this exact function, so their dot products — and hence
+/// candidate rankings — agree bit-for-bit.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n4 = a.len() & !3;
+    let (a4, ar) = a.split_at(n4);
+    let (b4, br) = b.split_at(n4);
+    let mut acc = [0.0f32; 4];
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ar.iter().zip(br) {
+        s += x * y;
+    }
+    s
+}
+
+/// Distance from a dot product of unit vectors: `√(2 − 2·⟨a,b⟩)`, clamped
+/// against rounding pushing the radicand negative.
+#[inline]
+fn dot_distance(d: f32) -> f64 {
+    (2.0 - 2.0 * d as f64).max(0.0).sqrt()
+}
+
+/// Inserts `(j, dot)` into a best-first candidate list of capacity `cap`.
+///
+/// Ordering is descending dot with ties broken towards the earlier pool
+/// index — identical to a stable sort by descending dot when candidates
+/// arrive in ascending `j`, which both callers guarantee.
+#[inline]
+fn push_candidate(cands: &mut Vec<(u32, f32)>, cap: usize, j: u32, d: f32) {
+    if cands.len() == cap {
+        match cands.last() {
+            Some(&(_, worst)) if d.total_cmp(&worst) == Ordering::Greater => {}
+            _ => return,
+        }
+    }
+    let mut pos = cands.len();
+    while pos > 0 && d.total_cmp(&cands[pos - 1].1) == Ordering::Greater {
+        pos -= 1;
+    }
+    cands.insert(pos, (j, d));
+    if cands.len() > cap {
+        cands.pop();
+    }
+}
+
+/// For every `q` row, its `cap` best pool rows as `(pool_index, dot)`,
+/// best-first. Blocked: parallel over query blocks, and within a block the
+/// pool is streamed in cache-sized tiles reused across all query rows of
+/// the block. Each query row's result is a pure function of the inputs, so
+/// the output is bit-identical at every thread count.
+fn blocked_topk(q: &DescriptorSet, pool: &DescriptorSet, cap: usize) -> Vec<Vec<(u32, f32)>> {
+    let n = q.len();
+    let blocks: Vec<(usize, usize)> =
+        (0..n).step_by(QUERY_BLOCK).map(|lo| (lo, (lo + QUERY_BLOCK).min(n))).collect();
+    let tile = pool_block_rows(q.dim());
+    let per_block: Vec<Vec<Vec<(u32, f32)>>> = bba_par::par_map(&blocks, |&(lo, hi)| {
+        let mut tops: Vec<Vec<(u32, f32)>> = vec![Vec::with_capacity(cap + 1); hi - lo];
+        let mut jlo = 0;
+        while jlo < pool.len() {
+            let jhi = (jlo + tile).min(pool.len());
+            for (top, i) in tops.iter_mut().zip(lo..hi) {
+                let a = q.row(i);
+                for j in jlo..jhi {
+                    push_candidate(top, cap, j as u32, dot(a, pool.row(j)));
+                }
+            }
+            jlo = jhi;
+        }
+        tops
+    });
+    per_block.into_iter().flatten().collect()
+}
+
+/// Applies cap / ratio / mutual selection to one query row's best-first
+/// candidates. Shared verbatim between the kernel and the naive reference.
+fn select_matches(
+    i: usize,
+    cands: &[(u32, f32)],
+    k: usize,
+    config: &MatcherConfig,
+    dst_best: Option<&[u32]>,
+    out: &mut Vec<Match>,
+) {
+    for rank in 0..k.min(cands.len()) {
+        let (j, d) = cands[rank];
+        let d1 = dot_distance(d);
+        if d1 > config.max_distance {
+            break; // candidates are best-first; the rest are farther
+        }
+        if config.ratio < 1.0 {
+            if let Some(&(_, d_next)) = cands.get(rank + 1) {
+                if d1 >= config.ratio * dot_distance(d_next) {
+                    break;
+                }
+            }
+        }
+        if rank == 0 {
+            if let Some(best) = dst_best {
+                if best[j as usize] != i as u32 {
+                    break;
+                }
+            }
+        }
+        out.push(Match { src: i, dst: j as usize, distance: d1 });
+    }
+}
+
+/// Matches `src` descriptors against `dst` descriptors on the flat
+/// [`DescriptorSet`] layout (the stage-1 production path).
+///
+/// Returns matches sorted by ascending distance.
+///
+/// # Panics
+///
+/// Panics if the two non-empty sets have different descriptor dimensions.
+pub fn match_sets(src: &DescriptorSet, dst: &DescriptorSet, config: &MatcherConfig) -> Vec<Match> {
+    if src.is_empty() || dst.is_empty() {
+        return Vec::new();
+    }
+    assert_eq!(src.dim(), dst.dim(), "descriptor dimensionality mismatch");
+    let k = config.keep_top_k.max(1);
+
+    // dst→src best indices for the mutual check (top-1 with the same
+    // kernel, directions swapped).
+    let dst_best: Option<Vec<u32>> =
+        config.mutual.then(|| blocked_topk(dst, src, 1).into_iter().map(|c| c[0].0).collect());
+
+    let per_src = blocked_topk(src, dst, k + 1);
+    let mut out = Vec::new();
+    for (i, cands) in per_src.iter().enumerate() {
+        select_matches(i, cands, k, config, dst_best.as_deref(), &mut out);
+    }
+    // Stable sort on a total order: bit-identical result at every thread
+    // count, and NaN distances (impossible for finite descriptors, but no
+    // longer a panic) sort last instead of aborting the recovery.
+    out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    out
+}
+
+/// Serial reference matcher: full dot-product rows and a stable sort in
+/// place of the blocked top-k select. Same `dot`, same selection logic,
+/// same output bits as [`match_sets`] — kept public (but hidden) so the
+/// equivalence proptests and the `stage1` bench can pit the kernel against
+/// it from outside the crate.
+#[doc(hidden)]
+pub fn match_sets_naive(
+    src: &DescriptorSet,
+    dst: &DescriptorSet,
+    config: &MatcherConfig,
+) -> Vec<Match> {
+    if src.is_empty() || dst.is_empty() {
+        return Vec::new();
+    }
+    assert_eq!(src.dim(), dst.dim(), "descriptor dimensionality mismatch");
+    let k = config.keep_top_k.max(1);
+
+    let topk = |q: &DescriptorSet, pool: &DescriptorSet, cap: usize| -> Vec<Vec<(u32, f32)>> {
+        (0..q.len())
+            .map(|i| {
+                let mut all: Vec<(u32, f32)> =
+                    (0..pool.len()).map(|j| (j as u32, dot(q.row(i), pool.row(j)))).collect();
+                all.sort_by(|a, b| b.1.total_cmp(&a.1));
+                all.truncate(cap);
+                all
+            })
+            .collect()
+    };
+
+    let dst_best: Option<Vec<u32>> =
+        config.mutual.then(|| topk(dst, src, 1).into_iter().map(|c| c[0].0).collect());
+    let per_src = topk(src, dst, k + 1);
+    let mut out = Vec::new();
+    for (i, cands) in per_src.iter().enumerate() {
+        select_matches(i, cands, k, config, dst_best.as_deref(), &mut out);
+    }
+    out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    out
+}
+
+/// Matches `src` descriptors against `dst` descriptors (AoS convenience
+/// wrapper over [`match_sets`]).
 ///
 /// Returns matches sorted by ascending distance.
 pub fn match_descriptors(
@@ -55,52 +273,7 @@ pub fn match_descriptors(
     if src.is_empty() || dst.is_empty() {
         return Vec::new();
     }
-
-    let k = config.keep_top_k.max(1);
-
-    // The k+1 nearest dst for every src (k matches plus the ratio-test
-    // reference).
-    let nearest = |from: &Descriptor, pool: &[Descriptor], count: usize| -> Vec<(usize, f64)> {
-        let mut all: Vec<(usize, f64)> =
-            pool.iter().enumerate().map(|(j, c)| (j, from.distance_sq(c))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        all.truncate(count);
-        all.into_iter().map(|(j, d)| (j, d.sqrt())).collect()
-    };
-
-    // Precompute dst→src best indices for the mutual check. Each row of
-    // the distance table is independent, so both directions parallelise
-    // per descriptor; results are collected in index order, and the final
-    // sort is stable, so the match list is bit-identical to the serial
-    // scan at every thread count.
-    let dst_best: Vec<usize> =
-        if config.mutual { bba_par::par_map(dst, |d| nearest(d, src, 1)[0].0) } else { Vec::new() };
-
-    let per_src: Vec<Vec<Match>> = bba_par::par_map_indices(src.len(), |i| {
-        let cands = nearest(&src[i], dst, k + 1);
-        let mut out = Vec::new();
-        for rank in 0..k.min(cands.len()) {
-            let (j, d1) = cands[rank];
-            if d1 > config.max_distance {
-                break; // candidates are sorted; the rest are farther
-            }
-            if config.ratio < 1.0 {
-                if let Some(&(_, d_next)) = cands.get(rank + 1) {
-                    if d1 >= config.ratio * d_next {
-                        break;
-                    }
-                }
-            }
-            if config.mutual && rank == 0 && dst_best[j] != i {
-                break;
-            }
-            out.push(Match { src: i, dst: j, distance: d1 });
-        }
-        out
-    });
-    let mut out: Vec<Match> = per_src.into_iter().flatten().collect();
-    out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
-    out
+    match_sets(&DescriptorSet::from_descriptors(src), &DescriptorSet::from_descriptors(dst), config)
 }
 
 #[cfg(test)]
@@ -135,7 +308,9 @@ mod tests {
         assert_eq!(matches.len(), 3);
         for m in matches {
             assert_eq!(m.src, m.dst);
-            assert!(m.distance < 1e-6);
+            // The dot identity leaves √(ε_f32)-order noise on exact-match
+            // distances; 1e-3 is far below any matching threshold.
+            assert!(m.distance < 1e-3);
         }
     }
 
@@ -187,6 +362,47 @@ mod tests {
         assert_eq!(matches.len(), 3);
         for pair in matches.windows(2) {
             assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_naive_reference() {
+        // Pseudo-random unit vectors, enough rows to cross several pool
+        // tiles and query blocks.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u32 << 24) as f32
+        };
+        let make = |n: usize, dim: usize, next: &mut dyn FnMut() -> f32| -> Vec<Descriptor> {
+            (0..n).map(|i| desc(i, &(0..dim).map(|_| next() - 0.5).collect::<Vec<_>>())).collect()
+        };
+        let src = DescriptorSet::from_descriptors(&make(70, 24, &mut next));
+        let dst = DescriptorSet::from_descriptors(&make(90, 24, &mut next));
+        for cfg in [
+            MatcherConfig::default(),
+            MatcherConfig { ratio: 1.0, mutual: false, max_distance: 1.5, keep_top_k: 2 },
+            MatcherConfig { ratio: 0.97, mutual: true, max_distance: 2.0, keep_top_k: 3 },
+        ] {
+            assert_eq!(match_sets(&src, &dst, &cfg), match_sets_naive(&src, &dst, &cfg));
+        }
+    }
+
+    #[test]
+    fn push_candidate_mirrors_stable_sort() {
+        let items: Vec<(u32, f32)> =
+            vec![(0, 0.5), (1, 0.9), (2, 0.9), (3, 0.1), (4, 1.0), (5, 0.9)];
+        for cap in 1..=6 {
+            let mut fast = Vec::new();
+            for &(j, d) in &items {
+                push_candidate(&mut fast, cap, j, d);
+            }
+            let mut sorted = items.clone();
+            sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+            sorted.truncate(cap);
+            assert_eq!(fast, sorted, "cap {cap}");
         }
     }
 }

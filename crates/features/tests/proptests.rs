@@ -1,14 +1,46 @@
-//! Property-based tests for keypoints, matching and RANSAC.
+//! Property-based tests for keypoints, matching and RANSAC — including the
+//! equivalence properties pinning the stage-1 fast paths to their naive
+//! references (sample-once/re-bin describe, dot-product kernel matcher).
 
+use bba_features::matcher::match_sets_naive;
 use bba_features::{
-    detect_keypoints, match_descriptors, ransac_rigid, Descriptor, Keypoint, KeypointConfig,
-    MatcherConfig, RansacConfig,
+    describe_keypoints_rotated, detect_keypoints, match_descriptors, match_sets, ransac_rigid,
+    Descriptor, DescriptorConfig, DescriptorSet, Keypoint, KeypointConfig, MatcherConfig,
+    PatchSamples, RansacConfig, RotationSweep, SampleWeighting,
 };
 use bba_geometry::{Iso2, Vec2};
-use bba_signal::Grid;
+use bba_signal::{Grid, LogGaborConfig, MaxIndexMap};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Random L2-normalised descriptor sets for the matcher properties.
+fn descriptor_set(max: usize) -> impl Strategy<Value = DescriptorSet> {
+    proptest::collection::vec(proptest::collection::vec(-1.0f32..1.0, 12), 1..max).prop_map(
+        |vecs| {
+            let descs: Vec<Descriptor> = vecs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                    Descriptor {
+                        keypoint: Keypoint { u: i, v: i, score: 1.0 },
+                        vector: v.iter().map(|x| x / norm).collect(),
+                    }
+                })
+                .collect();
+            DescriptorSet::from_descriptors(&descs)
+        },
+    )
+}
+
+fn weighting() -> impl Strategy<Value = SampleWeighting> {
+    prop_oneof![
+        Just(SampleWeighting::Amplitude),
+        Just(SampleWeighting::SqrtAmplitude),
+        Just(SampleWeighting::Binary),
+    ]
+}
 
 fn any_iso2() -> impl Strategy<Value = Iso2> {
     (-3.0..3.0f64, -50.0..50.0f64, -50.0..50.0f64)
@@ -131,5 +163,68 @@ proptest! {
                 "top-1 match lost at k=3"
             );
         }
+    }
+
+    /// Sample-once + re-bin descriptors are *bit-identical* to the naive
+    /// per-angle `describe_keypoints_rotated` for random images, angles and
+    /// descriptor configurations — the tentpole equivalence claim.
+    #[test]
+    fn sweep_rebin_equals_naive_describe(
+        spikes in proptest::collection::vec((0usize..64, 0usize..64, 0.5..10.0f64), 5..50),
+        kps_uv in proptest::collection::vec((0usize..64, 0usize..64), 1..8),
+        angles in proptest::collection::vec(-7.0..7.0f64, 1..4),
+        patch_size in prop_oneof![Just(12usize), Just(16usize), Just(24usize)],
+        grid_size in 2usize..5,
+        amplitude_gate in 0.0..0.3f64,
+        weighting in weighting(),
+    ) {
+        let mut img = Grid::new(64, 64, 0.0);
+        for &(u, v, z) in &spikes {
+            img[(u, v)] = z;
+        }
+        let mim = MaxIndexMap::compute(&img, &LogGaborConfig::default());
+        let cfg = DescriptorConfig {
+            patch_size,
+            grid_size,
+            amplitude_gate,
+            weighting,
+            ..Default::default()
+        };
+        // Random keypoints — some will fail the border check, exercising
+        // the drop paths — plus the centre, which always fits.
+        let mut kps: Vec<Keypoint> =
+            kps_uv.iter().map(|&(u, v)| Keypoint { u, v, score: 1.0 }).collect();
+        kps.push(Keypoint { u: 32, v: 32, score: 1.0 });
+
+        let sweep = RotationSweep::new(&cfg, mim.num_orientations, &angles);
+        let mut samples = PatchSamples::new();
+        samples.sample(&mim, &kps, &cfg);
+        for (k, &angle) in angles.iter().enumerate() {
+            let fast = samples.rebin(&sweep, k).to_descriptors();
+            let naive = describe_keypoints_rotated(&mim, &kps, &cfg, angle);
+            prop_assert_eq!(fast, naive, "hypothesis {} (angle {})", k, angle);
+        }
+    }
+
+    /// The blocked dot-product kernel returns exactly the match set of the
+    /// naive full-sort reference across random ratio / mutual /
+    /// max_distance / keep_top_k configurations — and stays bit-identical
+    /// at any thread count.
+    #[test]
+    fn kernel_matcher_equals_naive(
+        src in descriptor_set(40),
+        dst in descriptor_set(40),
+        ratio in prop_oneof![Just(1.0f64), 0.5..1.0f64],
+        mutual in any::<bool>(),
+        max_distance in 0.5..2.5f64,
+        keep_top_k in 1usize..4,
+        threads in 2usize..9,
+    ) {
+        let cfg = MatcherConfig { ratio, mutual, max_distance, keep_top_k };
+        let kernel = bba_par::with_threads(1, || match_sets(&src, &dst, &cfg));
+        let naive = match_sets_naive(&src, &dst, &cfg);
+        prop_assert_eq!(&kernel, &naive);
+        let wide = bba_par::with_threads(threads, || match_sets(&src, &dst, &cfg));
+        prop_assert_eq!(&kernel, &wide);
     }
 }

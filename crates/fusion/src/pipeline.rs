@@ -150,7 +150,7 @@ impl FusionExperiment {
             truth: d.truth,
         }));
         // Greedy NMS by confidence.
-        boxes.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+        boxes.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
         let mut kept: Vec<Detection> = Vec::new();
         for det in boxes {
             let dup = kept.iter().any(|k| obb_iou(&k.box3.to_bev(), &det.box3.to_bev()) > NMS_IOU);

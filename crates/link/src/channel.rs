@@ -206,7 +206,7 @@ impl SimChannel {
                 true
             }
         });
-        due.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+        due.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.stats.delivered += due.len();
         due.into_iter().map(|(t, _, b)| (t, b)).collect()
     }

@@ -422,8 +422,7 @@ mod tests {
         let amps = bank.orientation_amplitudes(&img).unwrap();
         // Response at the line centre, per orientation.
         let responses: Vec<f64> = amps.iter().map(|a| a[(32, 32)]).collect();
-        let best =
-            responses.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = responses.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         // A line along v varies along u (the x direction): its frequency
         // content lies on the horizontal frequency axis, i.e. θ≈0.
         let angle = cfg.orientation_angle(best);
