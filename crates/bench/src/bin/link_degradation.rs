@@ -9,9 +9,10 @@
 //! actually achieves.
 
 use bba_bench::cli;
-use bba_bench::report::{banner, opt, pct, print_table};
+use bba_bench::report::{banner, opt, pct, print_table, write_metrics_json};
 use bba_bench::stats::percentile;
 use bba_link::{ChannelConfig, HarnessConfig, PoseSource, V2vHarness};
+use bba_obs::Recorder;
 
 fn main() {
     let opts = cli::parse(12, "link_degradation — cooperative loop under loss × latency");
@@ -27,6 +28,11 @@ fn main() {
             opts.frames
         ),
     );
+
+    // One recorder across the whole sweep: link counters, recovery spans,
+    // and fusion/harness counters accumulate over every cell and land in
+    // results/metrics_link_degradation.json.
+    let recorder = Recorder::enabled();
 
     let mut rows = vec![vec![
         "loss".to_string(),
@@ -45,6 +51,7 @@ fn main() {
                 frames: opts.frames,
                 seed: opts.seed,
                 channel: ChannelConfig::urban().with_loss(loss).with_latency(latency),
+                recorder: recorder.clone(),
                 ..HarnessConfig::default()
             };
             let report = V2vHarness::new(cfg).run();
@@ -77,6 +84,7 @@ fn main() {
         }
     }
     print_table(&rows);
+    write_metrics_json("link_degradation", &recorder.snapshot());
 
     println!(
         "\nexpected: at zero loss the loop matches the direct-call pipeline (every frame\n\

@@ -15,9 +15,10 @@
 
 use bb_align::{BbAlign, BbAlignConfig};
 use bba_bench::cli;
-use bba_bench::report::{banner, opt, print_table, write_results_json};
+use bba_bench::report::{banner, opt, print_table, write_metrics_json, write_results_json};
 use bba_bench::stats::percentile;
 use bba_dataset::{Dataset, DatasetConfig};
+use bba_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -55,7 +56,12 @@ fn main() {
         &format!("{} frame pairs, {h}\u{b2} BV images, 1 vs {threads} thread(s)", opts.frames),
     );
 
-    let aligner = BbAlign::new(engine.clone());
+    // One enabled recorder sees everything: the engine's stage spans and
+    // gauges plus the thread pool's occupancy counters. Its snapshot rides
+    // along in the results JSON as the per-run health record.
+    let recorder = Recorder::enabled();
+    bba_par::install_recorder(recorder.clone());
+    let aligner = BbAlign::new(engine.clone()).with_recorder(recorder.clone());
 
     let mut serial = Samples::default();
     let mut parallel = Samples::default();
@@ -183,6 +189,7 @@ fn main() {
 
     use serde_json::Value;
     let float = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
+    let metrics = write_metrics_json("timing_breakdown", &recorder.snapshot());
     write_results_json(
         "timing_breakdown",
         &Value::Map(vec![
@@ -209,6 +216,7 @@ fn main() {
                         .collect(),
                 ),
             ),
+            ("metrics".into(), metrics),
         ]),
     );
 

@@ -94,6 +94,26 @@ pub fn write_results_json(name: &str, value: &serde_json::Value) {
     }
 }
 
+/// Writes an observability snapshot to `results/metrics_<name>.json` (the
+/// per-run health artifact CI's bench-smoke job uploads) and returns it
+/// re-parsed as a [`serde_json::Value`] so callers can also merge it into
+/// their main results blob. Follows the same never-fail policy as
+/// [`write_results_json`]; the returned value is `Null` when the snapshot
+/// JSON fails to parse (it shouldn't — the exporter emits strict JSON).
+pub fn write_metrics_json(name: &str, snapshot: &bba_obs::MetricsSnapshot) -> serde_json::Value {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create results/: {e}");
+    } else {
+        let path = dir.join(format!("metrics_{name}.json"));
+        match snapshot.write_json(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    serde_json::from_str(&snapshot.to_json()).unwrap_or(serde_json::Value::Null)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@ use bba_features::{
     RotationSweep,
 };
 use bba_geometry::{BevBox, Box3, Iso2, Iso3, Vec2, Vec3};
+use bba_obs::Recorder;
 use bba_signal::{FftWorkspace, LogGaborBank, MaxIndexMap};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -165,6 +166,10 @@ pub struct BbAlign {
     /// sets), recycled for the same reason; one set is in flight per
     /// `match_bv` call.
     stage1_scratch: Mutex<Vec<Stage1Scratch>>,
+    /// Observability sink (disabled by default — and then free). Records
+    /// per-phase spans, inlier gauges, and success/failure counters; it
+    /// never influences results, only observes them.
+    obs: Recorder,
 }
 
 /// Reusable stage-1 buffers: the hypothesis-invariant patch samples of both
@@ -192,7 +197,25 @@ impl BbAlign {
             sweep: OnceLock::new(),
             workspaces: Mutex::new(Vec::new()),
             stage1_scratch: Mutex::new(Vec::new()),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Installs an observability recorder (builder style). With an enabled
+    /// recorder every recovery emits hierarchical timing spans
+    /// (`recover/stage1/mim` … `recover/stage2`), inlier gauges, and
+    /// success/failure counters; with the default disabled recorder the
+    /// instrumentation short-circuits and the hot path stays
+    /// allocation-free. Recorded timings never feed back into the
+    /// algorithm, so results are bit-identical either way.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
+    }
+
+    /// The engine's observability recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The engine configuration.
@@ -265,12 +288,36 @@ impl BbAlign {
         other: &PerceptionFrame,
         rng: &mut R,
     ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
+        let span = self.obs.span("stage1");
         let mut scratch = {
             let mut pool = self.stage1_scratch.lock().expect("stage-1 scratch pool lock");
             pool.pop().unwrap_or_default()
         };
         let out = self.match_bv_inner(ego, other, rng, &mut scratch);
         self.stage1_scratch.lock().expect("stage-1 scratch pool lock").push(scratch);
+        // Re-publish the phase breakdown (measured inside the inner run
+        // regardless) as nested spans while the stage-1 span is still
+        // open, so they land under its path.
+        if self.obs.is_enabled() {
+            match &out {
+                Ok((bv, timing)) => {
+                    self.obs.record_span_ms("mim", timing.mim_ms);
+                    self.obs.record_span_ms("detect", timing.detect_ms);
+                    self.obs.record_span_ms("describe", timing.describe_ms);
+                    self.obs.record_span_ms("match", timing.match_ms);
+                    self.obs.record_span_ms("ransac", timing.ransac_ms);
+                    self.obs.record_span_ms("verify", timing.verify_ms);
+                    self.obs.gauge("stage1.hypotheses_swept", timing.hypotheses_swept as f64);
+                    self.obs.gauge("stage1.keypoints_ego", bv.keypoints.0 as f64);
+                    self.obs.gauge("stage1.keypoints_other", bv.keypoints.1 as f64);
+                    self.obs.gauge("stage1.matches", bv.matches as f64);
+                    self.obs.gauge("stage1.inliers_bv", bv.inliers as f64);
+                    self.obs.observe("stage1.inliers_bv", bv.inliers as f64);
+                }
+                Err(_) => self.obs.incr("stage1.failures"),
+            }
+        }
+        drop(span);
         out
     }
 
@@ -499,6 +546,33 @@ impl BbAlign {
         coarse: &Iso2,
         rng: &mut R,
     ) -> Option<BoxAlignment> {
+        let _span = self.obs.span("stage2");
+        let out = self.align_boxes_inner(ego, other, coarse, rng);
+        if self.obs.is_enabled() {
+            match &out {
+                Some(b) => {
+                    self.obs.gauge("stage2.box_pairs", b.box_pairs as f64);
+                    self.obs.gauge("stage2.inliers_box", b.inliers as f64);
+                    self.obs.observe("stage2.inliers_box", b.inliers as f64);
+                    // The refinement magnitude is itself the stage-2
+                    // residual: how far stage 1 was from the box geometry.
+                    let (dt, dr) = b.transform.error_to(&Iso2::IDENTITY);
+                    self.obs.gauge("stage2.residual_t_m", dt);
+                    self.obs.gauge("stage2.residual_r_rad", dr);
+                }
+                None => self.obs.incr("stage2.skipped"),
+            }
+        }
+        out
+    }
+
+    fn align_boxes_inner<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        coarse: &Iso2,
+        rng: &mut R,
+    ) -> Option<BoxAlignment> {
         let cfg = &self.config;
         let ego_boxes: Vec<&FrameBox> = ego.confident_boxes(cfg.box_min_confidence).collect();
         let other_boxes: Vec<BevBox> = other
@@ -587,7 +661,15 @@ impl BbAlign {
         other: &PerceptionFrame,
         rng: &mut R,
     ) -> Result<Recovery, RecoverError> {
-        let bv = self.match_bv(ego, other, rng)?;
+        let _span = self.obs.span("recover");
+        self.obs.incr("recover.calls");
+        let bv = match self.match_bv(ego, other, rng) {
+            Ok(bv) => bv,
+            Err(e) => {
+                self.obs.incr("recover.failures");
+                return Err(e);
+            }
+        };
         let box_alignment = if self.config.box_alignment {
             self.align_boxes(ego, other, &bv.transform, rng)
         } else {
@@ -597,13 +679,17 @@ impl BbAlign {
             Some(b) => b.transform.compose(&bv.transform),
             None => bv.transform,
         };
-        Ok(Recovery {
+        let recovery = Recovery {
             transform,
             transform_3d: Iso3::from_iso2(&transform, 0.0),
             bv,
             box_alignment,
             thresholds: (self.config.min_inliers_bv, self.config.min_inliers_box),
-        })
+        };
+        if recovery.is_success() {
+            self.obs.incr("recover.success");
+        }
+        Ok(recovery)
     }
 }
 

@@ -67,6 +67,9 @@ pub enum TrackUpdate {
     Gated,
     /// Too many consecutive rejections: track reset onto the measurement.
     Reset,
+    /// Measurement timestamp not after the newest state: rejected outright
+    /// (a backwards `dt` cannot update a forward-time motion model).
+    OutOfOrder,
 }
 
 /// A constant-velocity α–β tracker over the relative pose.
@@ -137,7 +140,15 @@ impl PoseTracker {
             return TrackUpdate::Initialized;
         };
 
-        let dt = (time - prev.time).max(1e-6);
+        // Non-monotonic timestamps are rejected, not clamped: dividing the
+        // displacement by a floor like 1e-6 s would turn centimetres into
+        // ~10⁴ m/s in `vel_meas` below and poison the velocity EMA. The
+        // state (including the gated streak — an out-of-order stamp says
+        // nothing about the world) is left untouched.
+        if time <= prev.time {
+            return TrackUpdate::OutOfOrder;
+        }
+        let dt = time - prev.time;
         let predicted_t = prev.translation + prev.velocity * dt;
         let predicted_yaw = prev.yaw + prev.yaw_rate * dt;
 
@@ -300,6 +311,59 @@ mod tests {
         let p = tracker.predict(0.5).unwrap();
         // Filtered yaw stays near ±π, not near 0.
         assert!(p.yaw().abs() > 3.0, "yaw blended across the seam: {}", p.yaw());
+    }
+
+    /// Regression: a backwards timestamp used to be clamped to `dt = 1e-6`,
+    /// turning a 5 cm displacement into a ~5·10⁴ m/s velocity measurement
+    /// that the EMA then blended into the track.
+    #[test]
+    fn backwards_timestamp_is_rejected_not_clamped() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        tracker.update_pose(0.0, &Iso2::new(0.0, Vec2::new(10.0, 0.0)), 40);
+        tracker.update_pose(1.0, &Iso2::new(0.0, Vec2::new(10.5, 0.0)), 40);
+        let v_before = tracker.relative_velocity().unwrap();
+        let p_before = tracker.predict(2.0).unwrap();
+
+        // 5 cm of displacement, half a second *backwards*.
+        let verdict = tracker.update_pose(0.5, &Iso2::new(0.0, Vec2::new(10.55, 0.0)), 40);
+        assert_eq!(verdict, TrackUpdate::OutOfOrder);
+        // The track is untouched: same velocity, same prediction.
+        assert_eq!(tracker.relative_velocity().unwrap(), v_before);
+        assert_eq!(tracker.predict(2.0).unwrap(), p_before);
+        assert!(v_before.norm() < 1.0, "sanity: the track itself is slow");
+    }
+
+    #[test]
+    fn repeated_timestamp_is_rejected() {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        tracker.update_pose(0.0, &Iso2::new(0.0, Vec2::new(10.0, 0.0)), 40);
+        tracker.update_pose(1.0, &Iso2::new(0.0, Vec2::new(12.0, 0.0)), 40);
+        let verdict = tracker.update_pose(1.0, &Iso2::new(0.0, Vec2::new(12.1, 0.0)), 40);
+        assert_eq!(verdict, TrackUpdate::OutOfOrder);
+        let v = tracker.relative_velocity().unwrap();
+        assert!(v.norm() < 3.0, "zero-dt update must not fabricate velocity: {v:?}");
+    }
+
+    #[test]
+    fn out_of_order_does_not_advance_the_gated_streak() {
+        let cfg = TrackerConfig::default();
+        let mut tracker = PoseTracker::new(cfg.clone());
+        feed_linear(&mut tracker, 5, 0.5, Vec2::new(30.0, 0.0), Vec2::ZERO, |_| Vec2::ZERO);
+        // reset_after - 1 gated outliers, separated by out-of-order noise:
+        // the stale stamps must not tip the streak into a reset.
+        for k in 0..cfg.reset_after - 1 {
+            let t = 2.5 + k as f64 * 0.5;
+            assert_eq!(
+                tracker.update_pose(t, &Iso2::new(0.0, Vec2::new(60.0, 0.0)), 40),
+                TrackUpdate::Gated
+            );
+            assert_eq!(
+                tracker.update_pose(t - 10.0, &Iso2::new(0.0, Vec2::new(60.0, 0.0)), 40),
+                TrackUpdate::OutOfOrder
+            );
+        }
+        let p = tracker.predict(4.0).unwrap();
+        assert!((p.translation() - Vec2::new(30.0, 0.0)).norm() < 1.0, "track hijacked: {p}");
     }
 
     #[test]

@@ -68,6 +68,32 @@ proptest! {
         prop_assert!(dt < 0.5 && dr < 0.05);
     }
 
+    /// Shuffled (non-monotonic) timestamps must never blow up the velocity
+    /// estimate. The truth is an exactly linear ~3 m/s trajectory, so with
+    /// out-of-order measurements rejected the learned velocity stays
+    /// physical; the old `dt = max(dt, 1e-6)` clamp instead divided
+    /// metre-scale displacements by microseconds and sent the EMA to
+    /// ~10⁴ m/s.
+    #[test]
+    fn tracker_velocity_stays_bounded_under_shuffled_timestamps(
+        order in prop::collection::vec(0usize..24, 8..24),
+        v in -3.0..3.0f64,
+    ) {
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        for &k in &order {
+            let t = k as f64 * 0.5;
+            let truth = Vec2::new(40.0 + v * t, 0.0);
+            tracker.update_pose(t, &Iso2::new(0.0, truth), 40);
+        }
+        if let Some(vel) = tracker.relative_velocity() {
+            prop_assert!(
+                vel.norm() <= 50.0,
+                "shuffled timestamps produced an unphysical velocity: {:?}",
+                vel
+            );
+        }
+    }
+
     #[test]
     fn tracker_never_accepts_gross_jumps(pose in any_iso2(), jump in 20.0..200.0f64) {
         let mut tracker = PoseTracker::new(TrackerConfig::default());

@@ -3,6 +3,7 @@
 use bba_dataset::FramePair;
 use bba_detect::{Detection, GroundTruthBox};
 use bba_geometry::{obb_iou, Box3, Iso2, Vec3};
+use bba_obs::Recorder;
 use bba_scene::GaussianSampler;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -133,6 +134,29 @@ impl FusionExperiment {
             Some(pose) => self.run_frame(pair, pose, rng),
             None => Self::ego_only(pair),
         }
+    }
+
+    /// [`FusionExperiment::run_frame_link`] with observability: times the
+    /// frame under a `fusion` span and counts cooperative vs. ego-only
+    /// operation plus emitted detections. `FusionExperiment` is a `Copy`
+    /// method tag, so the recorder is passed per call rather than stored.
+    pub fn run_frame_link_observed<R: Rng + ?Sized>(
+        &self,
+        pair: &FramePair,
+        link_pose: Option<&Iso2>,
+        rng: &mut R,
+        obs: &Recorder,
+    ) -> (Vec<Detection>, Vec<GroundTruthBox>) {
+        let _span = obs.span("fusion");
+        obs.incr("fusion.frames");
+        obs.incr(if link_pose.is_some() {
+            "fusion.cooperative_frames"
+        } else {
+            "fusion.ego_only_frames"
+        });
+        let out = self.run_frame_link(pair, link_pose, rng);
+        obs.add("fusion.detections", out.0.len() as u64);
+        out
     }
 
     /// Late fusion: per-car boxes, other's transformed, NMS-merged.

@@ -24,6 +24,7 @@ use bb_align::{wire, BbAlign, BbAlignConfig, PerceptionFrame};
 use bba_dataset::{AgentFrame, Dataset, DatasetConfig, FramePair};
 use bba_fusion::{FusionExperiment, FusionMethod};
 use bba_geometry::Iso2;
+use bba_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,6 +50,11 @@ pub struct HarnessConfig {
     /// Link pump sub-steps per tick: how often the endpoints look at the
     /// channel between frames (retransmissions need the opportunities).
     pub substeps: usize,
+    /// Observability sink shared by the recovery engine, both link
+    /// endpoints, and the fusion step. Disabled (and free) by default;
+    /// pass [`Recorder::enabled`] and snapshot it after
+    /// [`V2vHarness::run`] for a per-run health record.
+    pub recorder: Recorder,
 }
 
 impl Default for HarnessConfig {
@@ -63,6 +69,7 @@ impl Default for HarnessConfig {
             session: SessionConfig::default(),
             tracker: TrackerConfig::default(),
             substeps: 5,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -183,14 +190,16 @@ impl V2vHarness {
         let cfg = &self.config;
         let dt = cfg.dataset.frame_interval;
         let substeps = cfg.substeps.max(1);
-        let aligner = BbAlign::new(cfg.engine.clone());
+        let aligner = BbAlign::new(cfg.engine.clone()).with_recorder(cfg.recorder.clone());
         let fusion = FusionExperiment::new(cfg.fusion);
         let mut dataset = Dataset::new(cfg.dataset.clone(), cfg.seed);
         let mut tracker = PoseTracker::new(cfg.tracker.clone());
         let mut forward = SimChannel::new(cfg.channel, cfg.seed.wrapping_add(0x5E_EDF0));
         let mut reverse = SimChannel::new(cfg.channel, cfg.seed.wrapping_add(0x5E_EDF1));
         let mut receiver = LinkEndpoint::new(cfg.session);
+        receiver.set_recorder(cfg.recorder.clone());
         let mut transmitter = LinkEndpoint::new(cfg.session);
+        transmitter.set_recorder(cfg.recorder.clone());
         let mut fusion_rng =
             StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1));
 
@@ -279,10 +288,23 @@ impl V2vHarness {
         };
         let pose_error = pose.map(|p| p.error_to(&pair.true_relative));
 
+        let obs = &self.config.recorder;
+        obs.incr("harness.ticks");
+        match pose_source {
+            PoseSource::Recovered => obs.incr("harness.pose_recovered"),
+            PoseSource::Extrapolated => obs.incr("harness.pose_extrapolated"),
+            PoseSource::Unavailable => obs.incr("harness.pose_unavailable"),
+        }
+        if let Some((dt_err, _)) = pose_error {
+            obs.gauge("harness.pose_error_t_m", dt_err);
+            obs.observe("harness.pose_error_t_m", dt_err);
+        }
+
         // Perception: cooperative fusion needs both a delivered frame and
         // a pose to place it with; anything less is ego-only.
         let link_pose = if delivered { pose } else { None };
-        let (detections, _) = fusion.run_frame_link(pair, link_pose.as_ref(), fusion_rng);
+        let (detections, _) =
+            fusion.run_frame_link_observed(pair, link_pose.as_ref(), fusion_rng, obs);
 
         FrameOutcome {
             index,

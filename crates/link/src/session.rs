@@ -20,6 +20,7 @@
 
 use crate::channel::SimChannel;
 use crate::codec::{decode_datagram, encode_ack, encode_message, Datagram, DatagramKind};
+use bba_obs::Recorder;
 use std::collections::HashMap;
 
 /// Session tuning parameters.
@@ -106,6 +107,10 @@ pub struct SessionStats {
     pub corrupt_datagrams: usize,
     /// Data datagrams ignored as duplicates of completed messages.
     pub duplicate_datagrams: usize,
+    /// Structurally invalid data datagrams dropped by the session layer
+    /// (zero chunk count, out-of-range chunk index, or a non-data kind
+    /// handed to [`LinkEndpoint::handle_data`]).
+    pub malformed_datagrams: usize,
 }
 
 #[derive(Debug)]
@@ -135,6 +140,8 @@ pub struct LinkEndpoint {
     completed: Vec<u32>,
     last_complete_at: Option<f64>,
     stats: SessionStats,
+    /// Observability sink (disabled by default — and then free).
+    obs: Recorder,
 }
 
 /// How many completed msg_ids the duplicate filter remembers.
@@ -151,7 +158,16 @@ impl LinkEndpoint {
             completed: Vec::new(),
             last_complete_at: None,
             stats: SessionStats::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Installs an observability recorder: session counters
+    /// (`link.retransmits`, `link.duplicate_datagrams`,
+    /// `link.malformed_datagrams`, …) and the reassembly/end-to-end
+    /// latency histograms are recorded into it from then on.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
     }
 
     /// The session parameters.
@@ -196,6 +212,8 @@ impl LinkEndpoint {
             tx.send(now, d.clone());
         }
         self.stats.messages_sent += 1;
+        self.obs.incr("link.messages_sent");
+        self.obs.add("link.datagrams_sent", datagrams.len() as u64);
         self.pending.push(PendingMessage {
             msg_id,
             datagrams,
@@ -218,13 +236,16 @@ impl LinkEndpoint {
         let mut delivered = Vec::new();
         for (at, bytes) in rx.poll(now) {
             match decode_datagram(&bytes) {
-                Err(_) => self.stats.corrupt_datagrams += 1,
+                Err(_) => {
+                    self.stats.corrupt_datagrams += 1;
+                    self.obs.incr("link.corrupt_datagrams");
+                }
                 Ok(d) => match d.kind {
                     DatagramKind::Ack => {
                         self.pending.retain(|p| p.msg_id != d.msg_id);
                     }
                     DatagramKind::Data => {
-                        if let Some(msg) = self.accept_chunk(at, d, tx) {
+                        if let Some(msg) = self.handle_data(at, d, tx) {
                             delivered.push(msg);
                         }
                     }
@@ -236,12 +257,30 @@ impl LinkEndpoint {
         delivered
     }
 
-    fn accept_chunk(
+    /// Feeds one data datagram into reassembly at virtual time `at`,
+    /// sending any ack into `tx`. Returns the reassembled message when `d`
+    /// completed one. Normally called from [`LinkEndpoint::pump`] with
+    /// codec-validated datagrams, but safe against arbitrary input:
+    /// structurally invalid datagrams (a non-data kind, `chunk_count` of
+    /// zero, `chunk_index` out of range) are dropped and counted in
+    /// [`SessionStats::malformed_datagrams`] instead of corrupting or
+    /// crashing reassembly.
+    pub fn handle_data(
         &mut self,
         at: f64,
         d: Datagram,
         tx: &mut SimChannel,
     ) -> Option<ReceivedMessage> {
+        // Structural validation before any indexing. The codec rejects
+        // these on the wire path, but `Datagram` fields are public and a
+        // hand-constructed (or hostile) datagram used to panic here: a
+        // `chunk_count` of zero allocates an empty buffer that *any*
+        // chunk index then indexes out of bounds.
+        if d.kind != DatagramKind::Data || d.chunk_count == 0 || d.chunk_index >= d.chunk_count {
+            self.stats.malformed_datagrams += 1;
+            self.obs.incr("link.malformed_datagrams");
+            return None;
+        }
         // Acks mean "I have the whole message" — they are only sent once
         // reassembly completes. Acking individual chunks would let the
         // sender clear its pending entry after one of many chunks landed
@@ -252,6 +291,8 @@ impl LinkEndpoint {
             tx.send(at, encode_ack(d.msg_id));
             self.stats.acks_sent += 1;
             self.stats.duplicate_datagrams += 1;
+            self.obs.incr("link.acks_sent");
+            self.obs.incr("link.duplicate_datagrams");
             return None;
         }
         let count = d.chunk_count as usize;
@@ -271,6 +312,7 @@ impl LinkEndpoint {
             entry.received += 1;
         } else {
             self.stats.duplicate_datagrams += 1;
+            self.obs.incr("link.duplicate_datagrams");
         }
         if entry.received < count {
             return None;
@@ -280,21 +322,28 @@ impl LinkEndpoint {
         self.remember_completed(d.msg_id);
         tx.send(at, encode_ack(d.msg_id));
         self.stats.acks_sent += 1;
+        self.obs.incr("link.acks_sent");
+        // First-chunk-to-last-chunk reassembly time for this message.
+        self.obs.observe("link.reassembly_ms", (at - entry.started_at) * 1e3);
         let mut stamped = Vec::new();
         for chunk in entry.chunks {
             stamped.extend_from_slice(&chunk.expect("all chunks received"));
         }
         if stamped.len() < 8 {
             self.stats.corrupt_datagrams += 1;
+            self.obs.incr("link.corrupt_datagrams");
             return None;
         }
         let sent_at = f64::from_le_bytes(stamped[..8].try_into().expect("8 bytes"));
         let latency = at - sent_at;
         if latency > self.config.stale_after {
             self.stats.messages_stale += 1;
+            self.obs.incr("link.messages_stale");
             return None;
         }
         self.stats.messages_delivered += 1;
+        self.obs.incr("link.messages_delivered");
+        self.obs.observe("link.e2e_latency_ms", latency * 1e3);
         self.last_complete_at = Some(at);
         Some(ReceivedMessage {
             msg_id: d.msg_id,
@@ -315,18 +364,21 @@ impl LinkEndpoint {
     fn retransmit_due(&mut self, now: f64, tx: &mut SimChannel) {
         let cfg = self.config;
         let stats = &mut self.stats;
+        let obs = &self.obs;
         self.pending.retain_mut(|p| {
             if p.next_retry > now {
                 return true;
             }
             if p.attempts >= cfg.max_attempts {
                 stats.messages_abandoned += 1;
+                obs.incr("link.messages_abandoned");
                 return false;
             }
             for d in &p.datagrams {
                 tx.send(now, d.clone());
             }
             stats.retransmits += 1;
+            obs.incr("link.retransmits");
             p.attempts += 1;
             p.next_retry = now + cfg.ack_timeout * cfg.backoff.powi(p.attempts as i32 - 1);
             true
@@ -336,7 +388,15 @@ impl LinkEndpoint {
     fn expire_buffers(&mut self, now: f64) {
         // A buffer that has been incomplete for longer than the staleness
         // window can never deliver a fresh frame; reclaim it.
-        self.reassembly.retain(|_, r| now - r.started_at <= self.config.stale_after);
+        let stale_after = self.config.stale_after;
+        let obs = &self.obs;
+        self.reassembly.retain(|_, r| {
+            let keep = now - r.started_at <= stale_after;
+            if !keep {
+                obs.incr("link.reassembly_expired");
+            }
+            keep
+        });
     }
 }
 
@@ -455,6 +515,43 @@ mod tests {
         a.send_message(5.0, &payload(10), &mut ab);
         b.pump(5.01, &mut ab, &mut ba);
         assert_eq!(b.peer_state(5.01), PeerState::Synced);
+    }
+
+    #[test]
+    fn malformed_datagrams_are_dropped_not_panicking() {
+        // Regression: a hand-constructed datagram with `chunk_index >=
+        // chunk_count` (or `chunk_count == 0`, which allocates an empty
+        // buffer that any index overruns) used to panic in reassembly.
+        let mut b = LinkEndpoint::new(SessionConfig::default());
+        let (_, mut ba) = ideal_pair(12);
+        let out_of_range = Datagram {
+            kind: DatagramKind::Data,
+            msg_id: 7,
+            chunk_index: 3,
+            chunk_count: 2,
+            payload: vec![1, 2, 3],
+        };
+        assert!(b.handle_data(0.0, out_of_range, &mut ba).is_none());
+        let zero_chunks = Datagram {
+            kind: DatagramKind::Data,
+            msg_id: 8,
+            chunk_index: 0,
+            chunk_count: 0,
+            payload: vec![],
+        };
+        assert!(b.handle_data(0.0, zero_chunks, &mut ba).is_none());
+        let wrong_kind = Datagram {
+            kind: DatagramKind::Ack,
+            msg_id: 9,
+            chunk_index: 0,
+            chunk_count: 1,
+            payload: vec![],
+        };
+        assert!(b.handle_data(0.0, wrong_kind, &mut ba).is_none());
+        assert_eq!(b.stats().malformed_datagrams, 3);
+        // Nothing was buffered and no acks were provoked.
+        assert!(b.reassembly.is_empty());
+        assert_eq!(b.stats().acks_sent, 0);
     }
 
     #[test]

@@ -46,9 +46,31 @@
 
 #![warn(missing_docs)]
 
+use bba_obs::Recorder;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// The process-wide recorder for pool occupancy metrics. Unset by default:
+/// the gate is a single atomic load, so uninstrumented users (and the
+/// allocation-free hot-path tests, which never install one) pay nothing.
+static OBS: OnceLock<Recorder> = OnceLock::new();
+
+/// Installs a process-wide observability recorder for the parallel
+/// substrate. From then on every chunked run records worker occupancy
+/// (`par.workers` gauge), chunk counts (`par.chunks`), and how often the
+/// serial fast path short-circuits (`par.serial_ops` vs `par.parallel_ops`).
+///
+/// Returns `false` when a recorder was already installed (the install is
+/// once-per-process; the original recorder stays in place).
+pub fn install_recorder(recorder: Recorder) -> bool {
+    OBS.set(recorder).is_ok()
+}
+
+/// The installed recorder, if any and enabled.
+fn obs() -> Option<&'static Recorder> {
+    OBS.get().filter(|r| r.is_enabled())
+}
 
 thread_local! {
     /// The calling thread's remaining thread budget (`None` = unresolved,
@@ -112,7 +134,15 @@ fn run_chunks<U: Send>(
     let workers = threads.min(n_chunks);
     if workers <= 1 {
         // Serial fast path: one pass on the calling thread.
+        if let Some(r) = obs() {
+            r.incr("par.serial_ops");
+        }
         return eval(0, n);
+    }
+    if let Some(r) = obs() {
+        r.incr("par.parallel_ops");
+        r.add("par.chunks", n_chunks as u64);
+        r.gauge("par.workers", workers as f64);
     }
     let inner = (threads / workers).max(1);
     let next = AtomicUsize::new(0);
@@ -186,10 +216,18 @@ pub fn par_for_rows<T: Send>(data: &mut [T], row_len: usize, f: impl Fn(usize, &
     let n_rows = data.len().div_ceil(row_len);
     let threads = current_threads().min(n_rows.max(1));
     if threads <= 1 {
+        if let Some(r) = obs() {
+            r.incr("par.serial_ops");
+        }
         for (v, row) in data.chunks_mut(row_len).enumerate() {
             f(v, row);
         }
         return;
+    }
+    if let Some(r) = obs() {
+        r.incr("par.parallel_ops");
+        r.add("par.chunks", n_rows as u64);
+        r.gauge("par.workers", threads as f64);
     }
     let inner = (current_threads() / threads).max(1);
     let work: Mutex<Vec<(usize, &mut [T])>> =
@@ -218,7 +256,13 @@ pub fn join<A: Send, B: Send>(
 ) -> (A, B) {
     let threads = current_threads();
     if threads <= 1 {
+        if let Some(r) = obs() {
+            r.incr("par.serial_ops");
+        }
         return (fa(), fb());
+    }
+    if let Some(r) = obs() {
+        r.incr("par.joins");
     }
     let inner = (threads / 2).max(1);
     std::thread::scope(|s| {
@@ -387,6 +431,24 @@ mod tests {
     #[should_panic]
     fn join_propagates_spawned_branch_panic() {
         let _ = with_threads(4, || join(|| 1, || -> i32 { panic!("branch failed") }));
+    }
+
+    #[test]
+    fn installed_recorder_sees_pool_occupancy() {
+        // Installation is once-per-process, so this test owns the global
+        // recorder for this test binary; other tests in the same process
+        // may add to the counters, which is why the assertions are ≥.
+        let r = Recorder::enabled();
+        assert!(install_recorder(r.clone()));
+        assert!(!install_recorder(Recorder::enabled()), "second install must be refused");
+        let items: Vec<u64> = (0..64).collect();
+        with_threads(4, || par_map(&items, |x| x + 1));
+        with_threads(1, || par_map(&items, |x| x + 1));
+        let snap = r.snapshot();
+        assert!(snap.counter("par.parallel_ops").unwrap_or(0) >= 1);
+        assert!(snap.counter("par.serial_ops").unwrap_or(0) >= 1);
+        assert!(snap.counter("par.chunks").unwrap_or(0) >= 1);
+        assert!(snap.gauge("par.workers").is_some());
     }
 
     #[test]

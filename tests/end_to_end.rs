@@ -2,7 +2,10 @@
 //! loop, run at reduced resolution so the suite stays fast.
 
 use bb_align::{BbAlign, BbAlignConfig};
+use bba_bev::BevConfig;
 use bba_dataset::{Dataset, DatasetConfig, PoseNoise};
+use bba_link::{ChannelConfig, HarnessConfig, V2vHarness};
+use bba_obs::Recorder;
 use bba_scene::{AgentHeading, ScenarioConfig, ScenarioPreset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -176,6 +179,68 @@ fn transmitted_payload_is_much_smaller_than_raw_cloud() {
         payload * 4 < raw,
         "BB-Align payload ({payload} B) should be well under raw cloud ({raw} B)"
     );
+}
+
+/// One observability recorder across the whole cooperative loop: an
+/// obs-enabled end-to-end run must emit the full health record — stage-1
+/// phase spans nested under the recovery span, the stage-2 span, inlier
+/// gauges, link/fusion/harness counters — and the snapshot's JSON export
+/// must be strict enough for the workspace parser to read back.
+#[test]
+fn observed_link_run_emits_full_metrics_snapshot() {
+    // A fast engine for 128² BV images (mirrors the link crate's own test
+    // pool: coarser cells, softer inlier floor, smaller descriptors).
+    let mut engine = BbAlignConfig {
+        bev: BevConfig { range: 102.4, resolution: 1.6 },
+        min_inliers_bv: 10,
+        ..BbAlignConfig::default()
+    };
+    engine.descriptor.patch_size = 24;
+    engine.descriptor.grid_size = 4;
+
+    let recorder = Recorder::enabled();
+    let cfg = HarnessConfig {
+        frames: 3,
+        seed: 41,
+        dataset: DatasetConfig::test_small(),
+        engine,
+        channel: ChannelConfig::ideal(),
+        recorder: recorder.clone(),
+        ..HarnessConfig::default()
+    };
+    let report = V2vHarness::new(cfg).run();
+    assert!((report.delivered_rate() - 1.0).abs() < 1e-12, "ideal channel must deliver");
+    assert!(report.recovered_rate() > 0.5, "most frames should recover");
+
+    let snap = recorder.snapshot();
+    for path in [
+        "recover",
+        "recover/stage1",
+        "recover/stage1/mim",
+        "recover/stage1/detect",
+        "recover/stage1/describe",
+        "recover/stage1/match",
+        "recover/stage1/ransac",
+        "recover/stage2",
+        "fusion",
+    ] {
+        assert!(snap.span(path).is_some(), "missing span {path}");
+    }
+    assert!(snap.gauge("stage1.inliers_bv").is_some(), "missing inlier gauge");
+    assert!(snap.value("stage1.inliers_bv").is_some(), "missing inlier histogram");
+    assert!(snap.counter("recover.calls").unwrap_or(0) >= 1);
+    assert!(snap.counter("link.messages_sent").unwrap_or(0) >= 3);
+    assert!(snap.counter("link.messages_delivered").unwrap_or(0) >= 3);
+    assert_eq!(snap.counter("harness.ticks"), Some(3));
+    assert_eq!(snap.counter("fusion.frames"), Some(3));
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(&snap.to_json()).expect("snapshot JSON must parse");
+    let serde_json::Value::Map(sections) = parsed else {
+        panic!("snapshot JSON should be an object");
+    };
+    let keys: Vec<&str> = sections.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["counters", "gauges", "spans", "values"]);
 }
 
 #[test]
