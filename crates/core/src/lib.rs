@@ -59,12 +59,14 @@
 
 pub mod config;
 pub mod frame;
+pub mod pool;
 pub mod recover;
 pub mod tracking;
 pub mod wire;
 
 pub use config::{BbAlignConfig, BoxPairing, KeypointSource};
 pub use frame::PerceptionFrame;
+pub use pool::BoundedPool;
 pub use recover::{
     AlignmentScorer, BbAlign, BoxAlignment, BvMatch, RecoverError, Recovery, Stage1Timing,
 };

@@ -14,7 +14,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Stage-1 result: the BV image-matching alignment.
@@ -160,12 +160,16 @@ pub struct BbAlign {
     sweep: OnceLock<RotationSweep>,
     /// Pool of FFT scratch workspaces, recycled across recoveries so the
     /// steady-state MIM computation allocates nothing per frame. Two are in
-    /// flight per `match_bv` call (one per car's BV image).
-    workspaces: Mutex<Vec<FftWorkspace>>,
+    /// flight per `match_bv` call (one per car's BV image). Retention is
+    /// bounded by [`BbAlignConfig::pool_capacity`]; overflow buffers are
+    /// dropped, and hit/miss/drop counts surface through the recorder as
+    /// `pool.workspace.*` counters.
+    workspaces: crate::pool::BoundedPool<FftWorkspace>,
     /// Pool of stage-1 describe scratch (patch-sample buffers + descriptor
     /// sets), recycled for the same reason; one set is in flight per
-    /// `match_bv` call.
-    stage1_scratch: Mutex<Vec<Stage1Scratch>>,
+    /// `match_bv` call. Bounded like the workspace pool, with
+    /// `pool.stage1.*` counters.
+    stage1_scratch: crate::pool::BoundedPool<Stage1Scratch>,
     /// Observability sink (disabled by default — and then free). Records
     /// per-phase spans, inlier gauges, and success/failure counters; it
     /// never influences results, only observes them.
@@ -191,12 +195,23 @@ impl BbAlign {
     /// (see [`BbAlignConfig::validate`]).
     pub fn new(config: BbAlignConfig) -> Self {
         config.validate();
+        let capacity = config.pool_capacity;
         BbAlign {
             config,
             bank: OnceLock::new(),
             sweep: OnceLock::new(),
-            workspaces: Mutex::new(Vec::new()),
-            stage1_scratch: Mutex::new(Vec::new()),
+            workspaces: crate::pool::BoundedPool::new(
+                capacity,
+                "pool.workspace.hits",
+                "pool.workspace.misses",
+                "pool.workspace.dropped",
+            ),
+            stage1_scratch: crate::pool::BoundedPool::new(
+                capacity,
+                "pool.stage1.hits",
+                "pool.stage1.misses",
+                "pool.stage1.dropped",
+            ),
             obs: Recorder::disabled(),
         }
     }
@@ -289,12 +304,9 @@ impl BbAlign {
         rng: &mut R,
     ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
         let span = self.obs.span("stage1");
-        let mut scratch = {
-            let mut pool = self.stage1_scratch.lock().expect("stage-1 scratch pool lock");
-            pool.pop().unwrap_or_default()
-        };
+        let mut scratch = self.stage1_scratch.take(&self.obs);
         let out = self.match_bv_inner(ego, other, rng, &mut scratch);
-        self.stage1_scratch.lock().expect("stage-1 scratch pool lock").push(scratch);
+        self.stage1_scratch.put(scratch, &self.obs);
         // Re-publish the phase breakdown (measured inside the inner run
         // regardless) as nested spans while the stage-1 span is still
         // open, so they land under its path.
@@ -340,21 +352,16 @@ impl BbAlign {
         // independent, so they run concurrently; each branch inherits half
         // the thread budget for its internal filter-bank parallelism.
         let bank = self.bank();
-        let (mut ws_ego, mut ws_other) = {
-            let mut pool = self.workspaces.lock().expect("workspace pool lock");
-            (pool.pop().unwrap_or_default(), pool.pop().unwrap_or_default())
-        };
+        let (mut ws_ego, mut ws_other) =
+            (self.workspaces.take(&self.obs), self.workspaces.take(&self.obs));
         let t = Instant::now();
         let (mim_ego, mim_other) = bba_par::join(
             || MaxIndexMap::compute_with_workspace(ego.bev().grid(), bank, &mut ws_ego),
             || MaxIndexMap::compute_with_workspace(other.bev().grid(), bank, &mut ws_other),
         );
         timing.mim_ms = ms(t);
-        {
-            let mut pool = self.workspaces.lock().expect("workspace pool lock");
-            pool.push(ws_ego);
-            pool.push(ws_other);
-        }
+        self.workspaces.put(ws_ego, &self.obs);
+        self.workspaces.put(ws_other, &self.obs);
 
         // Keypoints.
         let detect = |frame: &PerceptionFrame, mim: &MaxIndexMap| match cfg.keypoint_source {

@@ -27,8 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod frame;
 pub mod noise;
 
+pub use fleet::{FleetDataset, FleetDatasetConfig, FleetFrame};
 pub use frame::{AgentFrame, Dataset, DatasetConfig, FramePair};
 pub use noise::PoseNoise;

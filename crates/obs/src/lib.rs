@@ -348,6 +348,55 @@ impl HistSummary {
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
     }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket that holds the target rank.
+    ///
+    /// Each bucket's mass is assumed uniformly spread between its lower
+    /// and upper bound; the overflow bucket and any bound beyond the
+    /// observed range are clamped to `[min, max]`, so the result always
+    /// lies inside the recorded range. With the log-spaced
+    /// [`DEFAULT_BUCKET_BOUNDS`] the relative error is bounded by the
+    /// bucket width (≤ 2.5× between adjacent bounds). Returns `None` when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        let mut lower = self.min;
+        for &(bound, n) in &self.buckets {
+            let upper = if bound.is_finite() { bound.min(self.max) } else { self.max };
+            if n > 0 {
+                let next = cum + n as f64;
+                if next >= target {
+                    let frac = ((target - cum) / n as f64).clamp(0.0, 1.0);
+                    let lo = lower.clamp(self.min, self.max);
+                    let hi = upper.max(lo);
+                    return Some(lo + (hi - lo) * frac);
+                }
+                cum = next;
+            }
+            lower = upper.max(lower);
+        }
+        Some(self.max)
+    }
+
+    /// Approximate median — `quantile(0.5)`.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Approximate 90th percentile — `quantile(0.9)`.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.9)
+    }
+
+    /// Approximate 99th percentile — `quantile(0.99)`.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
 }
 
 /// An immutable, exportable freeze of a [`Recorder`]'s state.
@@ -577,6 +626,74 @@ mod tests {
         assert!(bound.is_infinite());
         assert_eq!(n, 1);
         assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let obs = Recorder::enabled();
+        // 100 values uniformly 1..=100 ms: p50 ≈ 50, p99 ≈ 99.
+        for v in 1..=100 {
+            obs.observe("lat", v as f64);
+        }
+        let snap = obs.snapshot();
+        let h = snap.value("lat").expect("histogram exists");
+        let p50 = h.p50().expect("non-empty");
+        let p90 = h.p90().expect("non-empty");
+        let p99 = h.p99().expect("non-empty");
+        // Bucket interpolation over log-spaced bounds is coarse; accept
+        // the bucket-width error but require the right neighbourhood and
+        // monotonic ordering.
+        assert!((25.0..=75.0).contains(&p50), "p50={p50}");
+        assert!((75.0..=100.0).contains(&p90), "p90={p90}");
+        assert!((90.0..=100.0).contains(&p99), "p99={p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotonic");
+        // Extremes pin to the observed range.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantiles_of_single_value_collapse_to_it() {
+        let obs = Recorder::enabled();
+        obs.observe("one", 3.2);
+        let snap = obs.snapshot();
+        let h = snap.value("one").unwrap();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).expect("non-empty");
+            assert!((v - 3.2).abs() < 1e-12, "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_inside_observed_range_with_overflow_bucket() {
+        let obs = Recorder::enabled();
+        // Everything lands in the overflow bucket (bound = inf); quantiles
+        // must still be finite and clamped to [min, max].
+        for v in [3000.0, 4000.0, 5000.0] {
+            obs.observe("big", v);
+        }
+        let snap = obs.snapshot();
+        let h = snap.value("big").unwrap();
+        for q in [0.1, 0.5, 0.99] {
+            let v = h.quantile(q).expect("non-empty");
+            assert!(v.is_finite());
+            assert!((3000.0..=5000.0).contains(&v), "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = HistSummary {
+            name: "empty".into(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        };
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
     }
 
     #[test]

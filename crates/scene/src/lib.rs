@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod objects;
 pub mod road;
 pub mod sampling;
@@ -38,6 +39,7 @@ pub mod scenario;
 pub mod trajectory;
 pub mod world;
 
+pub use fleet::{FleetConfig, FleetScenario};
 pub use objects::{ObjectKind, Obstacle, ObstacleId, Shape};
 pub use road::RoadFrame;
 pub use sampling::GaussianSampler;

@@ -214,7 +214,13 @@ pub struct Scenario {
 }
 
 // Road geometry constants (metres).
-const LANE_HALF_OFFSET: f64 = 1.75; // lane centre distance from road centreline
+// Lane centre distance from road centreline; shared with the fleet
+// generator so platoon cars line up in the agents' lane.
+pub(crate) const LANE_HALF_OFFSET: f64 = 1.75;
+/// Fraction of the road length where the ego car starts its arc; shared
+/// with the fleet generator so extra platoon cars are placed relative to
+/// the same anchor.
+pub(crate) const EGO_ARC_FRACTION: f64 = 0.35;
 const CURB_OFFSET: f64 = 5.4; // parked-car row
 const POLE_OFFSET: f64 = 6.5;
 const TREE_OFFSET_MIN: f64 = 7.0;
@@ -458,7 +464,7 @@ impl Scenario {
         // Agent trajectories: ego in the right lane along the road; the
         // other car `agent_separation` metres of arc ahead, same or
         // opposite direction.
-        let ego_s = len * 0.35;
+        let ego_s = len * EGO_ARC_FRACTION;
         let other_s = ego_s + config.agent_separation;
         let ego_trajectory = road.trajectory(ego_s, -LANE_HALF_OFFSET, config.ego_speed, true);
         let other_trajectory = match config.agent_heading {

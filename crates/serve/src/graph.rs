@@ -1,0 +1,355 @@
+//! The fleet pose graph: chaining pairwise recoveries into a consistent
+//! fleet-wide frame.
+//!
+//! Each successful pairwise recovery is an edge `T_{i←j}` mapping vehicle
+//! `j`'s frame into vehicle `i`'s. With N>2 vehicles the edges form a
+//! graph whose cycles give a *self-check no single pair has*: composing
+//! the transforms around any 3-cycle `i→j→k→i` must return the identity,
+//!
+//! ```text
+//! T_{i←j} ∘ T_{j←k} ∘ T_{k←i} ≈ I
+//! ```
+//!
+//! up to recovery noise. A corrupted edge (an alias lock-on that passed
+//! the inlier thresholds) breaks every cycle through it, which is exactly
+//! how [`FleetPoseGraph::reconcile`] finds it: repeatedly exclude the
+//! edge participating in the most over-threshold cycles (ties broken by
+//! lowest weight) until no inconsistent complete cycle remains. The
+//! motivation follows the spatial-calibration line of work in PAPERS.md —
+//! multi-vehicle consistency as the arbiter of pairwise estimates.
+
+use crate::session::PairId;
+use bba_geometry::Iso2;
+
+/// One pairwise recovery in the graph.
+#[derive(Debug, Clone)]
+pub struct PoseEdge {
+    /// Receiver-side vehicle index.
+    pub from: usize,
+    /// Sender-side vehicle index.
+    pub to: usize,
+    /// `T_{from←to}`: maps `to`'s frame into `from`'s frame.
+    pub pose: Iso2,
+    /// Confidence weight (e.g. stage-1 + stage-2 inlier count). Used to
+    /// break ties when excluding inconsistent edges.
+    pub weight: f64,
+    /// Set by [`FleetPoseGraph::reconcile`] when the edge is deemed
+    /// inconsistent; excluded edges drop out of cycle checks and
+    /// absolute-pose propagation.
+    pub excluded: bool,
+}
+
+/// One 3-cycle's composition error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleError {
+    /// The three vehicle indices, ascending.
+    pub cycle: (usize, usize, usize),
+    /// Translation magnitude (m) of the composed transform.
+    pub translation: f64,
+    /// Rotation magnitude (rad) of the composed transform.
+    pub rotation: f64,
+}
+
+/// Report of one reconciliation pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileReport {
+    /// Edges excluded, in exclusion order, as `(from, to)`.
+    pub excluded: Vec<(usize, usize)>,
+    /// Cycle errors remaining after exclusion.
+    pub remaining: Vec<CycleError>,
+}
+
+/// A pose graph over `vehicles` indexed vehicles.
+#[derive(Debug, Clone, Default)]
+pub struct FleetPoseGraph {
+    vehicles: usize,
+    edges: Vec<PoseEdge>,
+}
+
+impl FleetPoseGraph {
+    /// An empty graph over `vehicles` vehicles.
+    pub fn new(vehicles: usize) -> Self {
+        FleetPoseGraph { vehicles, edges: Vec::new() }
+    }
+
+    /// Number of vehicles.
+    pub fn vehicle_count(&self) -> usize {
+        self.vehicles
+    }
+
+    /// The edges, in insertion order.
+    pub fn edges(&self) -> &[PoseEdge] {
+        &self.edges
+    }
+
+    /// Adds the recovery `T_{from←to}` with confidence `weight`. A second
+    /// edge for the same ordered pair replaces the first (sessions
+    /// re-recover continuously; the newest estimate wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range or `from == to`.
+    pub fn add_edge(&mut self, from: usize, to: usize, pose: Iso2, weight: f64) {
+        assert!(from < self.vehicles && to < self.vehicles, "vehicle index out of range");
+        assert_ne!(from, to, "self-edges are meaningless");
+        let edge = PoseEdge { from, to, pose, weight, excluded: false };
+        if let Some(existing) = self.edges.iter_mut().find(|e| e.from == from && e.to == to) {
+            *existing = edge;
+        } else {
+            self.edges.push(edge);
+        }
+    }
+
+    /// Convenience for service output: adds an edge keyed by a
+    /// [`PairId`] whose vehicle ids are the graph indices.
+    pub fn add_recovery(&mut self, pair: PairId, pose: Iso2, weight: f64) {
+        self.add_edge(pair.receiver as usize, pair.sender as usize, pose, weight);
+    }
+
+    /// The transform `T_{from←to}` if a non-excluded edge connects the
+    /// two vehicles in either orientation.
+    fn directed(&self, from: usize, to: usize) -> Option<Iso2> {
+        for e in &self.edges {
+            if e.excluded {
+                continue;
+            }
+            if e.from == from && e.to == to {
+                return Some(e.pose);
+            }
+            if e.from == to && e.to == from {
+                return Some(e.pose.inverse());
+            }
+        }
+        None
+    }
+
+    /// Composition errors of every complete (all three edges present and
+    /// non-excluded) 3-cycle, ascending by vehicle triple.
+    pub fn cycle_errors(&self) -> Vec<CycleError> {
+        let mut out = Vec::new();
+        for a in 0..self.vehicles {
+            for b in (a + 1)..self.vehicles {
+                let Some(t_ab) = self.directed(a, b) else { continue };
+                for c in (b + 1)..self.vehicles {
+                    let (Some(t_bc), Some(t_ca)) = (self.directed(b, c), self.directed(c, a))
+                    else {
+                        continue;
+                    };
+                    // p in a's frame: T_ca → c, T_bc → … composing
+                    // left-to-right: T_ab ∘ T_bc ∘ T_ca = T_{a←a}.
+                    let composed = t_ab.compose(&t_bc).compose(&t_ca);
+                    let (translation, rotation) = composed.error_to(&Iso2::IDENTITY);
+                    out.push(CycleError { cycle: (a, b, c), translation, rotation });
+                }
+            }
+        }
+        out
+    }
+
+    /// The largest 3-cycle composition error, as `(translation m,
+    /// rotation rad)` maxima taken independently. `None` when the graph
+    /// has no complete cycle.
+    pub fn max_cycle_error(&self) -> Option<(f64, f64)> {
+        let errors = self.cycle_errors();
+        if errors.is_empty() {
+            return None;
+        }
+        Some((
+            errors.iter().map(|e| e.translation).fold(0.0, f64::max),
+            errors.iter().map(|e| e.rotation).fold(0.0, f64::max),
+        ))
+    }
+
+    /// Detects and excludes inconsistent edges.
+    ///
+    /// A cycle is *bad* when its composition error exceeds either
+    /// tolerance. Iteratively, the edge participating in the most bad
+    /// cycles is excluded (ties: lowest weight, then lowest `(from, to)`
+    /// for determinism) until no bad complete cycle remains. Exclusion
+    /// only ever removes edges, so the loop terminates.
+    pub fn reconcile(&mut self, trans_tol: f64, rot_tol: f64) -> ReconcileReport {
+        let mut report = ReconcileReport::default();
+        loop {
+            let bad: Vec<CycleError> = self
+                .cycle_errors()
+                .into_iter()
+                .filter(|e| e.translation > trans_tol || e.rotation > rot_tol)
+                .collect();
+            if bad.is_empty() {
+                report.remaining = self.cycle_errors();
+                return report;
+            }
+            // Count bad-cycle membership per non-excluded edge.
+            let mut worst: Option<(usize, f64, usize)> = None; // (bad count, weight, index)
+            for (idx, edge) in self.edges.iter().enumerate() {
+                if edge.excluded {
+                    continue;
+                }
+                let count = bad
+                    .iter()
+                    .filter(|e| {
+                        let (a, b, c) = e.cycle;
+                        let touches = |x: usize, y: usize| {
+                            (edge.from == x && edge.to == y) || (edge.from == y && edge.to == x)
+                        };
+                        touches(a, b) || touches(b, c) || touches(c, a)
+                    })
+                    .count();
+                if count == 0 {
+                    continue;
+                }
+                let better = match worst {
+                    None => true,
+                    Some((best_count, best_weight, best_idx)) => {
+                        count > best_count
+                            || (count == best_count
+                                && (edge.weight < best_weight
+                                    || (edge.weight == best_weight && idx < best_idx)))
+                    }
+                };
+                if better {
+                    worst = Some((count, edge.weight, idx));
+                }
+            }
+            let Some((_, _, idx)) = worst else {
+                // Bad cycles but no countable edge — cannot happen, but
+                // never loop forever.
+                report.remaining = bad;
+                return report;
+            };
+            self.edges[idx].excluded = true;
+            report.excluded.push((self.edges[idx].from, self.edges[idx].to));
+        }
+    }
+
+    /// Propagates absolute poses from `anchor` over non-excluded edges
+    /// (breadth-first, edge insertion order): entry `v` is `T_{anchor←v}`,
+    /// or `None` when `v` is unreachable.
+    pub fn absolute_poses(&self, anchor: usize) -> Vec<Option<Iso2>> {
+        let mut poses: Vec<Option<Iso2>> = vec![None; self.vehicles];
+        if anchor >= self.vehicles {
+            return poses;
+        }
+        poses[anchor] = Some(Iso2::IDENTITY);
+        let mut frontier = vec![anchor];
+        while let Some(v) = frontier.pop() {
+            let t_anchor_v = poses[v].expect("frontier nodes are resolved");
+            for e in &self.edges {
+                if e.excluded {
+                    continue;
+                }
+                if e.from == v && poses[e.to].is_none() {
+                    poses[e.to] = Some(t_anchor_v.compose(&e.pose));
+                    frontier.push(e.to);
+                } else if e.to == v && poses[e.from].is_none() {
+                    poses[e.from] = Some(t_anchor_v.compose(&e.pose.inverse()));
+                    frontier.push(e.from);
+                }
+            }
+        }
+        poses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bba_geometry::Vec2;
+
+    /// A rigid fleet layout: vehicle k at (10k, k) with yaw 0.05k; edges
+    /// derived exactly from the layout, so every cycle is identity.
+    fn exact_graph(n: usize) -> (FleetPoseGraph, Vec<Iso2>) {
+        let world: Vec<Iso2> = (0..n)
+            .map(|k| Iso2::new(0.05 * k as f64, Vec2::new(10.0 * k as f64, k as f64)))
+            .collect();
+        let mut g = FleetPoseGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // T_{i←j} = world_i⁻¹ ∘ world_j.
+                g.add_edge(i, j, world[i].relative_from(&world[j]), 30.0);
+            }
+        }
+        (g, world)
+    }
+
+    #[test]
+    fn exact_three_cycle_composes_to_identity() {
+        let (g, _) = exact_graph(3);
+        let errors = g.cycle_errors();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].translation < 1e-9, "translation {}", errors[0].translation);
+        assert!(errors[0].rotation < 1e-9, "rotation {}", errors[0].rotation);
+        let (t, r) = g.max_cycle_error().unwrap();
+        assert!(t < 1e-9 && r < 1e-9);
+    }
+
+    #[test]
+    fn all_cycles_enumerate_in_a_complete_graph() {
+        let (g, _) = exact_graph(5);
+        // C(5,3) = 10 triangles.
+        assert_eq!(g.cycle_errors().len(), 10);
+    }
+
+    #[test]
+    fn corrupted_edge_in_a_five_vehicle_platoon_is_detected_and_excluded() {
+        let (mut g, world) = exact_graph(5);
+        // Corrupt edge 1→3 with a gross alias (offset + rotation) but give
+        // it a plausible weight.
+        let corrupt =
+            world[1].relative_from(&world[3]).compose(&Iso2::new(0.3, Vec2::new(4.0, -2.0)));
+        g.add_edge(1, 3, corrupt, 20.0);
+        let report = g.reconcile(0.5, 0.05);
+        assert_eq!(report.excluded, vec![(1, 3)], "exactly the corrupted edge goes");
+        assert!(report.remaining.iter().all(|e| e.translation < 1e-9));
+        // The fleet is still fully connected without it.
+        let poses = g.absolute_poses(0);
+        assert!(poses.iter().all(Option::is_some));
+        for (k, pose) in poses.iter().enumerate() {
+            let expect = world[0].relative_from(&world[k]);
+            assert!(pose.unwrap().approx_eq(&expect, 1e-9, 1e-9), "vehicle {k}");
+        }
+    }
+
+    #[test]
+    fn consistent_graph_reconciles_without_exclusions() {
+        let (mut g, _) = exact_graph(4);
+        let report = g.reconcile(0.5, 0.05);
+        assert!(report.excluded.is_empty());
+        assert_eq!(report.remaining.len(), 4); // C(4,3)
+    }
+
+    #[test]
+    fn newest_edge_replaces_the_old_estimate() {
+        let mut g = FleetPoseGraph::new(2);
+        g.add_edge(0, 1, Iso2::new(0.0, Vec2::new(1.0, 0.0)), 10.0);
+        g.add_edge(0, 1, Iso2::new(0.0, Vec2::new(2.0, 0.0)), 12.0);
+        assert_eq!(g.edges().len(), 1);
+        assert!((g.edges()[0].pose.translation().x - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_poses_mark_unreachable_vehicles() {
+        let mut g = FleetPoseGraph::new(4);
+        g.add_edge(0, 1, Iso2::new(0.0, Vec2::new(5.0, 0.0)), 10.0);
+        // Vehicles 2 and 3 are disconnected.
+        let poses = g.absolute_poses(0);
+        assert!(poses[0].is_some() && poses[1].is_some());
+        assert!(poses[2].is_none() && poses[3].is_none());
+    }
+
+    #[test]
+    fn chained_absolute_poses_match_direct_composition() {
+        // A path graph only: 0-1, 1-2, 2-3 (no shortcuts).
+        let world: Vec<Iso2> =
+            (0..4).map(|k| Iso2::new(0.1 * k as f64, Vec2::new(8.0 * k as f64, 0.0))).collect();
+        let mut g = FleetPoseGraph::new(4);
+        for k in 0..3 {
+            g.add_edge(k, k + 1, world[k].relative_from(&world[k + 1]), 25.0);
+        }
+        let poses = g.absolute_poses(0);
+        for k in 0..4 {
+            let expect = world[0].relative_from(&world[k]);
+            assert!(poses[k].unwrap().approx_eq(&expect, 1e-9, 1e-9), "vehicle {k}");
+        }
+    }
+}

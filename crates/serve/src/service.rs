@@ -1,0 +1,344 @@
+//! The pose service: batched admission, parallel recovery, full
+//! observability.
+//!
+//! [`PoseService`] owns a [`ShardMap`] of sessions and one shared
+//! [`BbAlign`] engine. The engine is `&self` throughout, so its bounded
+//! `FftWorkspace` / stage-1 scratch pools (and the process-wide FFT plan
+//! cache beneath them) are automatically *service-wide*: a thousand
+//! sessions share one fixed set of scratch buffers instead of allocating
+//! per pair.
+//!
+//! The service splits work into two non-blocking halves:
+//!
+//! * [`PoseService::submit`] — called from link threads; sheds or queues
+//!   in O(1) under one shard lock and returns immediately;
+//! * [`PoseService::process_batch`] — called from the compute loop;
+//!   drains every session, sorts the batch by `(pair, seq)` and fans it
+//!   out over `bba_par::par_map`. Each work item derives its RNG from
+//!   `(service seed, pair, seq)`, so results are bit-identical at any
+//!   thread count and independent of arrival interleaving — the same
+//!   determinism contract the rest of the workspace pins.
+
+use crate::session::{AdmitOutcome, FrameSubmission, PairId, SessionConfig, SessionStats};
+use crate::shard::ShardMap;
+use bb_align::{BbAlign, RecoverError, Recovery};
+use bba_obs::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Per-session queue/staleness policy.
+    pub session: SessionConfig,
+    /// Number of session shards (locks).
+    pub shards: usize,
+    /// Maximum frames drained from one session per batch; 1 keeps every
+    /// session's latency bounded under overload (fairness), larger values
+    /// let backlogged sessions catch up faster.
+    pub max_batch_per_session: usize,
+    /// Seed mixed into every work item's RNG.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            session: SessionConfig::default(),
+            shards: 16,
+            max_batch_per_session: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// The result of one batched recovery.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Which session produced it.
+    pub pair: PairId,
+    /// The frame's sequence number.
+    pub seq: u64,
+    /// The frame's capture timestamp (s).
+    pub timestamp: f64,
+    /// Wall-clock recovery latency (ms) — diagnostics only, never fed
+    /// back into results.
+    pub latency_ms: f64,
+    /// The recovery, or why it failed.
+    pub result: Result<Recovery, RecoverError>,
+}
+
+/// Service-wide accounting, folded over every live session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Live sessions.
+    pub sessions: u64,
+    /// Frames offered across all sessions.
+    pub submitted: u64,
+    /// Frames handed to the compute pool.
+    pub processed: u64,
+    /// Frames shed for age.
+    pub shed_stale: u64,
+    /// Frames shed as duplicates.
+    pub shed_duplicate: u64,
+    /// Frames shed as superseded reorderings.
+    pub shed_superseded: u64,
+    /// Frames shed by queue overflow.
+    pub shed_overflow: u64,
+    /// Frames currently queued.
+    pub queued: u64,
+}
+
+impl ServiceStats {
+    /// Total shed frames.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_stale + self.shed_duplicate + self.shed_superseded + self.shed_overflow
+    }
+
+    /// The service-wide conservation invariant: every submitted frame is
+    /// processed, shed (counted once), or still queued.
+    pub fn is_conserved(&self) -> bool {
+        self.submitted == self.processed + self.shed_total() + self.queued
+    }
+}
+
+/// A fleet-scale pose service multiplexing pairwise recovery sessions.
+#[derive(Debug)]
+pub struct PoseService {
+    engine: Arc<BbAlign>,
+    shards: ShardMap,
+    config: ServiceConfig,
+    obs: Recorder,
+}
+
+/// Deterministic per-work-item RNG seed from (service seed, pair, seq):
+/// splitmix64-style finalizer over the mixed words, so adjacent pairs and
+/// sequence numbers land in unrelated streams.
+fn item_seed(seed: u64, pair: PairId, seq: u64) -> u64 {
+    let mut z = seed
+        ^ ((pair.receiver as u64) << 32 | pair.sender as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PoseService {
+    /// Creates a service around a shared engine.
+    pub fn new(engine: Arc<BbAlign>, config: ServiceConfig) -> Self {
+        PoseService {
+            shards: ShardMap::new(config.shards, config.session),
+            engine,
+            config,
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Installs an observability recorder (builder style). The service
+    /// records admission/shed counters, queue-depth and session gauges,
+    /// and a per-recovery latency histogram; none of it influences
+    /// results.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
+    }
+
+    /// The shared recovery engine.
+    pub fn engine(&self) -> &Arc<BbAlign> {
+        &self.engine
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Offers a frame to `pair`'s session. Never blocks the caller: the
+    /// frame is queued or shed in O(1) under one shard lock, and the
+    /// outcome (including any overflow eviction it triggered) is counted
+    /// in the metrics.
+    pub fn submit(&self, pair: PairId, frame: FrameSubmission, now: f64) -> AdmitOutcome {
+        let (outcome, overflowed) = self.shards.with_session(pair, |session| {
+            let before = session.stats().shed_overflow;
+            let outcome = session.admit(frame, now);
+            (outcome, session.stats().shed_overflow - before)
+        });
+        self.obs.incr("serve.submitted");
+        match outcome {
+            AdmitOutcome::Admitted => self.obs.incr("serve.admitted"),
+            AdmitOutcome::ShedStale => self.obs.incr("serve.shed_stale"),
+            AdmitOutcome::ShedDuplicate => self.obs.incr("serve.shed_duplicate"),
+            AdmitOutcome::ShedSuperseded => self.obs.incr("serve.shed_superseded"),
+        }
+        if overflowed > 0 {
+            self.obs.add("serve.shed_overflow", overflowed);
+        }
+        outcome
+    }
+
+    /// Drains every session and recovers the batch on the parallel pool.
+    /// Returns outcomes sorted by `(pair, seq)`; results are
+    /// deterministic for a given `(service seed, pair, seq)` regardless
+    /// of thread count or arrival order.
+    pub fn process_batch(&self, now: f64) -> Vec<RecoveryOutcome> {
+        let batch = self.shards.drain_all(now, self.config.max_batch_per_session);
+        let seed = self.config.seed;
+        let engine = &self.engine;
+        let outcomes: Vec<RecoveryOutcome> = bba_par::par_map(&batch, |(pair, frame)| {
+            let mut rng = StdRng::seed_from_u64(item_seed(seed, *pair, frame.seq));
+            let start = Instant::now();
+            let result = engine.recover(&frame.ego, &frame.other, &mut rng);
+            RecoveryOutcome {
+                pair: *pair,
+                seq: frame.seq,
+                timestamp: frame.timestamp,
+                latency_ms: start.elapsed().as_secs_f64() * 1e3,
+                result,
+            }
+        });
+        // Metrics are recorded from the coordinating thread, in batch
+        // order, so snapshots are reproducible modulo the timings
+        // themselves.
+        self.obs.add("serve.processed", outcomes.len() as u64);
+        for outcome in &outcomes {
+            self.obs.observe("serve.recovery_ms", outcome.latency_ms);
+            match &outcome.result {
+                Ok(_) => self.obs.incr("serve.recovered"),
+                Err(_) => self.obs.incr("serve.failed"),
+            }
+        }
+        self.obs.gauge("serve.sessions", self.shards.session_count() as f64);
+        self.obs.gauge("serve.queue_depth", self.shards.queue_depth() as f64);
+        outcomes
+    }
+
+    /// Folds every session into service-wide accounting.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.shards.fold_stats(ServiceStats::default(), |mut acc, _, session| {
+            let s: SessionStats = session.stats();
+            acc.sessions += 1;
+            acc.submitted += s.submitted;
+            acc.processed += s.processed;
+            acc.shed_stale += s.shed_stale;
+            acc.shed_duplicate += s.shed_duplicate;
+            acc.shed_superseded += s.shed_superseded;
+            acc.shed_overflow += s.shed_overflow;
+            acc.queued += session.queue_len() as u64;
+            acc
+        });
+        // Gauges published here too, so callers that only snapshot after
+        // a stats() call still see current depth.
+        self.obs.gauge("serve.sessions", stats.sessions as f64);
+        self.obs.gauge("serve.queue_depth", stats.queued as f64);
+        stats.sessions = self.shards.session_count() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_align::{BbAlignConfig, PerceptionFrame};
+
+    fn service(session: SessionConfig) -> PoseService {
+        let engine = Arc::new(BbAlign::new(BbAlignConfig::test_small()));
+        PoseService::new(
+            engine,
+            ServiceConfig { session, shards: 4, max_batch_per_session: 2, seed: 7 },
+        )
+        .with_recorder(Recorder::enabled())
+    }
+
+    fn empty_frame(service: &PoseService) -> Arc<PerceptionFrame> {
+        Arc::new(service.engine().frame_from_parts(std::iter::empty(), std::iter::empty()))
+    }
+
+    fn submission(frame: &Arc<PerceptionFrame>, seq: u64, timestamp: f64) -> FrameSubmission {
+        FrameSubmission { seq, timestamp, ego: Arc::clone(frame), other: Arc::clone(frame) }
+    }
+
+    #[test]
+    fn submissions_flow_through_to_batch_outcomes() {
+        let svc = service(SessionConfig::default());
+        let frame = empty_frame(&svc);
+        for receiver in 0..3u32 {
+            let pair = PairId::new(receiver, 9);
+            assert_eq!(svc.submit(pair, submission(&frame, 0, 0.0), 0.0), AdmitOutcome::Admitted);
+        }
+        let outcomes = svc.process_batch(0.1);
+        assert_eq!(outcomes.len(), 3);
+        // Empty frames cannot recover, but orchestration still completes
+        // and accounts for every frame.
+        assert!(outcomes.iter().all(|o| o.result.is_err()));
+        let stats = svc.stats();
+        assert_eq!(stats.processed, 3);
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn outcomes_are_sorted_and_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let svc = service(SessionConfig::default());
+            let frame = empty_frame(&svc);
+            // Submit in scrambled pair order.
+            for &receiver in &[5u32, 1, 3, 2, 4] {
+                svc.submit(PairId::new(receiver, 0), submission(&frame, 0, 0.0), 0.0);
+            }
+            let outcomes = bba_par::with_threads(threads, || svc.process_batch(0.0));
+            outcomes.iter().map(|o| (o.pair, o.seq, o.result.clone())).collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+        let pairs: Vec<u32> = serial.iter().map(|(p, _, _)| p.receiver).collect();
+        assert_eq!(pairs, vec![1, 2, 3, 4, 5], "outcomes sorted by pair");
+    }
+
+    #[test]
+    fn shed_frames_are_counted_in_the_snapshot() {
+        let svc = service(SessionConfig { queue_capacity: 1, staleness: 1.0 });
+        let frame = empty_frame(&svc);
+        let pair = PairId::new(0, 1);
+        svc.submit(pair, submission(&frame, 0, 0.0), 0.0); // admitted
+        svc.submit(pair, submission(&frame, 0, 0.0), 0.0); // duplicate
+        svc.submit(pair, submission(&frame, 1, 0.0), 0.0); // admitted, evicts seq 0
+        svc.submit(pair, submission(&frame, 2, -5.0), 0.0); // stale
+        let snap = svc.stats();
+        assert_eq!(snap.shed_duplicate, 1);
+        assert_eq!(snap.shed_overflow, 1);
+        assert_eq!(snap.shed_stale, 1);
+        assert!(snap.is_conserved());
+        let metrics = svc.obs.snapshot();
+        assert_eq!(metrics.counter("serve.submitted"), Some(4));
+        assert_eq!(metrics.counter("serve.shed_duplicate"), Some(1));
+        assert_eq!(metrics.counter("serve.shed_overflow"), Some(1));
+        assert_eq!(metrics.counter("serve.shed_stale"), Some(1));
+        assert_eq!(metrics.gauge("serve.queue_depth"), Some(1.0));
+    }
+
+    #[test]
+    fn batch_records_latency_histogram_and_gauges() {
+        let svc = service(SessionConfig::default());
+        let frame = empty_frame(&svc);
+        svc.submit(PairId::new(0, 1), submission(&frame, 0, 0.0), 0.0);
+        svc.process_batch(0.0);
+        let metrics = svc.obs.snapshot();
+        let hist = metrics.value("serve.recovery_ms").expect("latency histogram");
+        assert_eq!(hist.count, 1);
+        assert!(hist.p99().is_some());
+        assert_eq!(metrics.counter("serve.processed"), Some(1));
+        assert_eq!(metrics.gauge("serve.sessions"), Some(1.0));
+    }
+
+    #[test]
+    fn item_seeds_differ_across_pairs_and_seqs() {
+        let a = item_seed(1, PairId::new(0, 1), 0);
+        let b = item_seed(1, PairId::new(1, 0), 0);
+        let c = item_seed(1, PairId::new(0, 1), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,161 @@
+//! Sharded session ownership: pair-id → shard, no global lock.
+//!
+//! A service multiplexing hundreds of pairs must not serialise every
+//! admission behind one mutex. [`ShardMap`] hashes each [`PairId`] to one
+//! of a fixed set of shards, each an independently locked map of
+//! sessions; two submissions for different pairs contend only when they
+//! collide on a shard (1/shards probability), and a batch drain locks one
+//! shard at a time.
+//!
+//! Shard assignment uses FNV-1a over the pair's two vehicle ids — cheap,
+//! deterministic across runs (unlike `RandomState`), and well-mixed for
+//! the small dense id spaces fleets produce.
+
+use crate::session::{FrameSubmission, PairId, PairSession, SessionConfig};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A fixed array of independently locked session maps.
+#[derive(Debug)]
+pub struct ShardMap {
+    shards: Vec<Mutex<HashMap<PairId, PairSession>>>,
+    session_config: SessionConfig,
+}
+
+/// FNV-1a over the pair's id bytes; stable across runs and platforms.
+fn shard_hash(pair: PairId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in pair.receiver.to_le_bytes().into_iter().chain(pair.sender.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ShardMap {
+    /// Creates `shards` empty shards (at least 1) sharing one session
+    /// config for newly created sessions.
+    pub fn new(shards: usize, session_config: SessionConfig) -> Self {
+        session_config.validate();
+        let shards = shards.max(1);
+        ShardMap {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            session_config,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `pair`.
+    pub fn shard_of(&self, pair: PairId) -> usize {
+        (shard_hash(pair) % self.shards.len() as u64) as usize
+    }
+
+    /// Runs `f` on `pair`'s session (created on first touch), holding
+    /// only that shard's lock.
+    pub fn with_session<R>(&self, pair: PairId, f: impl FnOnce(&mut PairSession) -> R) -> R {
+        let shard = &self.shards[self.shard_of(pair)];
+        let mut map = shard.lock().expect("shard lock");
+        let session = map.entry(pair).or_insert_with(|| PairSession::new(self.session_config));
+        f(session)
+    }
+
+    /// Drains up to `max_per_session` due frames from every session,
+    /// returning `(pair, frame)` work items. Shards are locked one at a
+    /// time; the result is sorted by `(pair, seq)` so downstream batch
+    /// processing is deterministic regardless of hash-map iteration
+    /// order.
+    pub fn drain_all(&self, now: f64, max_per_session: usize) -> Vec<(PairId, FrameSubmission)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("shard lock");
+            for (&pair, session) in map.iter_mut() {
+                for frame in session.drain_due(now, max_per_session) {
+                    out.push((pair, frame));
+                }
+            }
+        }
+        out.sort_by_key(|(pair, frame)| (*pair, frame.seq));
+        out
+    }
+
+    /// Number of live sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard lock").len()).sum()
+    }
+
+    /// Total queued frames across all sessions.
+    pub fn queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock().expect("shard lock").values().map(PairSession::queue_len).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Folds every session's stats into one accumulator (shards locked
+    /// one at a time).
+    pub fn fold_stats<A>(&self, init: A, mut f: impl FnMut(A, PairId, &PairSession) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let map = shard.lock().expect("shard lock");
+            for (&pair, session) in map.iter() {
+                acc = f(acc, pair, session);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_spread_over_shards() {
+        let shards = ShardMap::new(8, SessionConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for receiver in 0..8u32 {
+            for sender in 0..8u32 {
+                if receiver != sender {
+                    seen.insert(shards.shard_of(PairId::new(receiver, sender)));
+                }
+            }
+        }
+        assert!(seen.len() >= 4, "56 pairs should touch most of 8 shards, got {}", seen.len());
+    }
+
+    #[test]
+    fn shard_assignment_is_stable() {
+        let a = ShardMap::new(16, SessionConfig::default());
+        let b = ShardMap::new(16, SessionConfig::default());
+        for receiver in 0..10u32 {
+            for sender in 0..10u32 {
+                let pair = PairId::new(receiver, sender);
+                assert_eq!(a.shard_of(pair), b.shard_of(pair));
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_are_created_on_first_touch() {
+        let shards = ShardMap::new(4, SessionConfig::default());
+        assert_eq!(shards.session_count(), 0);
+        shards.with_session(PairId::new(0, 1), |_| ());
+        shards.with_session(PairId::new(0, 1), |_| ());
+        shards.with_session(PairId::new(1, 0), |_| ());
+        assert_eq!(shards.session_count(), 2);
+    }
+
+    #[test]
+    fn at_least_one_shard_even_when_asked_for_zero() {
+        let shards = ShardMap::new(0, SessionConfig::default());
+        assert_eq!(shards.shard_count(), 1);
+        shards.with_session(PairId::new(3, 4), |_| ());
+        assert_eq!(shards.session_count(), 1);
+    }
+}

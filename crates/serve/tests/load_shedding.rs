@@ -1,0 +1,117 @@
+//! Property-based tests for the session load-shedding policy.
+//!
+//! The service's contract with the link is: *never block, never lie about
+//! what was dropped*. Under arbitrary interleavings of stale,
+//! out-of-order, and duplicate frames a session must (1) resolve every
+//! admission immediately (queue or shed — bounded queue, no waiting), (2)
+//! never hand the compute pool a frame older than the staleness bound,
+//! and (3) account for every shed frame exactly once, so that
+//! `submitted == processed + shed + queued` at every instant.
+
+use bb_align::{BbAlign, BbAlignConfig, PerceptionFrame};
+use bba_serve::{AdmitOutcome, FrameSubmission, PairSession, SessionConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One step of an adversarial link schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Offer a frame with this sequence number, captured `age` seconds
+    /// before the current clock (stale when `age > staleness`).
+    Submit { seq: u64, age: f64 },
+    /// Advance the clock (frames age in the queue).
+    Advance(f64),
+    /// Drain up to `max` frames for processing.
+    Drain { max: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Small seq range forces duplicates and reorderings; ages up to
+        // 2 s straddle every staleness bound we generate.
+        (0u64..12, 0.0..2.0f64).prop_map(|(seq, age)| Op::Submit { seq, age }),
+        (0.0..0.6f64).prop_map(Op::Advance),
+        (0usize..4).prop_map(|max| Op::Drain { max }),
+    ]
+}
+
+fn shared_frame() -> Arc<PerceptionFrame> {
+    let engine = BbAlign::new(BbAlignConfig::test_small());
+    Arc::new(engine.frame_from_parts(std::iter::empty(), std::iter::empty()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn session_sheds_exactly_and_never_processes_stale_frames(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        queue_capacity in 1usize..5,
+        staleness in 0.2..1.5f64,
+    ) {
+        let frame = shared_frame();
+        let mut session = PairSession::new(SessionConfig { queue_capacity, staleness });
+        let mut now = 0.0f64;
+        let mut drained_seqs: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Submit { seq, age } => {
+                    let outcome = session.admit(
+                        FrameSubmission {
+                            seq,
+                            timestamp: now - age,
+                            ego: Arc::clone(&frame),
+                            other: Arc::clone(&frame),
+                        },
+                        now,
+                    );
+                    // An admission always resolves to exactly one of the
+                    // four outcomes; a stale frame is never admitted.
+                    if age > staleness {
+                        prop_assert_eq!(outcome, AdmitOutcome::ShedStale);
+                    }
+                }
+                Op::Advance(dt) => now += dt,
+                Op::Drain { max } => {
+                    let frames = session.drain_due(now, max);
+                    prop_assert!(frames.len() <= max);
+                    for f in &frames {
+                        // (2) Nothing older than the staleness bound is
+                        // ever processed.
+                        prop_assert!(
+                            now - f.timestamp <= staleness,
+                            "processed a frame {:.3}s old with bound {:.3}s",
+                            now - f.timestamp, staleness
+                        );
+                        drained_seqs.push(f.seq);
+                    }
+                }
+            }
+            // (1) The queue is bounded — an admission can never grow it
+            // past capacity, i.e. nothing ever waits.
+            prop_assert!(session.queue_len() <= queue_capacity);
+            // (3) Conservation after *every* step: each submitted frame
+            // is processed, counted in exactly one shed class, or queued.
+            prop_assert!(
+                session.is_conserved(),
+                "conservation violated: {:?} with queue depth {}",
+                session.stats(), session.queue_len()
+            );
+        }
+
+        // Processed frames leave in strictly increasing sequence order:
+        // admission rejects non-monotonic seqs and the queue is FIFO.
+        for w in drained_seqs.windows(2) {
+            prop_assert!(w[0] < w[1], "drained seqs out of order: {:?}", drained_seqs);
+        }
+
+        // Final accounting: the four shed classes partition the
+        // non-processed, non-queued frames.
+        let stats = session.stats();
+        prop_assert_eq!(
+            stats.submitted,
+            stats.processed + stats.shed_total() + session.queue_len() as u64
+        );
+    }
+}
