@@ -209,7 +209,13 @@ fn main() {
                                 ("label".into(), Value::Str(p.label.into())),
                                 ("median_1thr_ms".into(), float(p.median_1thr_ms)),
                                 ("p90_1thr_ms".into(), float(p.p90_1thr_ms)),
-                                (format!("median_{threads}thr_ms"), float(p.median_nthr_ms)),
+                                // Fixed key: interpolating the thread count
+                                // here collided with "median_1thr_ms" when
+                                // the host exposes a single thread, and the
+                                // duplicate key made the phase record
+                                // ambiguous (the sibling "threads" field
+                                // already records N).
+                                ("median_nthr_ms".into(), float(p.median_nthr_ms)),
                                 ("speedup".into(), float(p.speedup)),
                             ])
                         })

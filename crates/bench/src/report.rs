@@ -114,6 +114,48 @@ pub fn write_metrics_json(name: &str, snapshot: &bba_obs::MetricsSnapshot) -> se
     serde_json::from_str(&snapshot.to_json()).unwrap_or(serde_json::Value::Null)
 }
 
+/// Recursively searches a JSON value for a map that binds the same key
+/// twice, returning the path of the first offender (e.g.
+/// `phases[2].median_1thr_ms`) or `None` when every map is well-formed.
+///
+/// The vendored `serde_json` represents objects as ordered `(key, value)`
+/// pairs and will happily serialise duplicates — which is how
+/// `timing_breakdown` once emitted two `median_1thr_ms` fields per phase on
+/// a single-thread host. Result writers (and the results-schema test) use
+/// this to reject such records.
+pub fn duplicate_key_path(value: &serde_json::Value) -> Option<String> {
+    use serde_json::Value;
+    fn walk(v: &Value, path: &str) -> Option<String> {
+        match v {
+            Value::Map(entries) => {
+                let mut seen = std::collections::HashSet::new();
+                for (k, _) in entries {
+                    if !seen.insert(k.as_str()) {
+                        return Some(if path.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{path}.{k}")
+                        });
+                    }
+                }
+                for (k, child) in entries {
+                    let child_path =
+                        if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    if let Some(found) = walk(child, &child_path) {
+                        return Some(found);
+                    }
+                }
+                None
+            }
+            Value::Seq(items) => {
+                items.iter().enumerate().find_map(|(i, child)| walk(child, &format!("{path}[{i}]")))
+            }
+            _ => None,
+        }
+    }
+    walk(value, "")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +184,40 @@ mod tests {
         assert_eq!(pct(0.8), "80.0%");
         assert_eq!(opt(Some(1.23456), 2), "1.23");
         assert_eq!(opt(None, 2), "-");
+    }
+
+    #[test]
+    fn duplicate_keys_are_detected_with_their_path() {
+        use serde_json::Value;
+        let clean = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Seq(vec![Value::Map(vec![
+                    ("x".into(), Value::UInt(1)),
+                    ("y".into(), Value::UInt(2)),
+                ])]),
+            ),
+        ]);
+        assert_eq!(duplicate_key_path(&clean), None);
+
+        // The exact shape of the old timing_breakdown bug: a phase record
+        // binding median_1thr_ms twice.
+        let buggy = Value::Map(vec![(
+            "phases".into(),
+            Value::Seq(vec![
+                Value::Map(vec![("label".into(), Value::Str("ok".into()))]),
+                Value::Map(vec![
+                    ("label".into(), Value::Str("ransac".into())),
+                    ("median_1thr_ms".into(), Value::Float(324.0)),
+                    ("median_1thr_ms".into(), Value::Float(323.9)),
+                ]),
+            ]),
+        )]);
+        assert_eq!(duplicate_key_path(&buggy).as_deref(), Some("phases[1].median_1thr_ms"));
+
+        // Duplicates at the root are reported without a leading dot.
+        let root = Value::Map(vec![("k".into(), Value::Null), ("k".into(), Value::Null)]);
+        assert_eq!(duplicate_key_path(&root).as_deref(), Some("k"));
     }
 }

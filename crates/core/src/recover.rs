@@ -4,8 +4,8 @@ use crate::config::BbAlignConfig;
 use crate::frame::{FrameBox, PerceptionFrame};
 use bba_bev::{BevConfig, BevImage};
 use bba_features::{
-    detect_keypoints, match_sets, ransac_rigid, DescriptorSet, PatchSamples, RansacError,
-    RotationSweep,
+    detect_keypoints, match_sets, ransac_rigid, ransac_rigid_guided, DescriptorSet, PatchSamples,
+    RansacError, RotationSweep,
 };
 use bba_geometry::{BevBox, Box3, Iso2, Iso3, Vec2, Vec3};
 use bba_obs::Recorder;
@@ -434,6 +434,10 @@ impl BbAlign {
             let mut src: Vec<Vec2> =
                 matches.iter().map(|m| pix(other_set.keypoint(m.src))).collect();
             let mut dst: Vec<Vec2> = matches.iter().map(|m| pix(ego_set.keypoint(m.dst))).collect();
+            // Descriptor distances rank the correspondences for RANSAC's
+            // PROSAC-style preview; they schedule work only and cannot
+            // change the result.
+            let mut qual: Vec<f64> = matches.iter().map(|m| m.distance).collect();
 
             // Sequential RANSAC: extract up to `stage1_candidates` disjoint
             // consensus models per hypothesis. In self-similar corridors an
@@ -442,7 +446,7 @@ impl BbAlign {
             let t = Instant::now();
             let mut stop_sweep = false;
             for _ in 0..cfg.stage1_candidates.max(1) {
-                match ransac_rigid(&src, &dst, &cfg.ransac_bv, rng) {
+                match ransac_rigid_guided(&src, &dst, Some(&qual), &cfg.ransac_bv, rng) {
                     Ok(result) => {
                         // Unambiguously strong consensus: clears the success
                         // threshold AND explains at least half the matches.
@@ -467,6 +471,7 @@ impl BbAlign {
                         }
                         src = keep.iter().map(|&i| src[i]).collect();
                         dst = keep.iter().map(|&i| dst[i]).collect();
+                        qual = keep.iter().map(|&i| qual[i]).collect();
                     }
                     Err(e) => {
                         last_ransac_err = Some(e);
@@ -499,11 +504,12 @@ impl BbAlign {
         let (result, matches) = if cfg.alignment_verification && candidates.len() > 1 {
             let t = Instant::now();
             let scorer = AlignmentScorer::new(ego.bev());
+            let cells = scorer.collect_occupied(other.bev());
             let picked = candidates
                 .into_iter()
                 .map(|(r, m)| {
                     let world = self.pixel_to_world_transform(&r.transform);
-                    let score = scorer.score(other.bev(), &world);
+                    let score = scorer.score_cells(&cells, &world);
                     (score, r, m)
                 })
                 .max_by(|a, b| a.0.total_cmp(&b.0).then(a.1.num_inliers.cmp(&b.1.num_inliers)))
@@ -712,6 +718,17 @@ impl BbAlign {
 /// every subsequent [`AlignmentScorer::score`] is then a single mask probe
 /// per mapped cell instead of a 3×3 occupancy re-scan, which is what makes
 /// scoring many candidate transforms against one ego image cheap.
+///
+/// For scoring several candidate transforms, collect the other image's
+/// occupied cells once with [`AlignmentScorer::collect_occupied`] and score
+/// through [`AlignmentScorer::score_cells`]: same value as [`score`]
+/// bit for bit, but the full-raster sweep and the `pixel_center` math are
+/// paid once instead of per candidate, and a coarse 4×-downsampled
+/// block-OR of the dilated mask screens each probe before touching the
+/// full-resolution mask (a coarse miss is a guaranteed fine miss, so the
+/// screen cannot change the score).
+///
+/// [`score`]: AlignmentScorer::score
 #[derive(Debug, Clone)]
 pub struct AlignmentScorer {
     bev: BevConfig,
@@ -719,6 +736,35 @@ pub struct AlignmentScorer {
     /// window around it is occupied.
     dilated: Vec<bool>,
     size: usize,
+    /// Block-OR of `dilated` over `COARSE`×`COARSE` tiles: a coarse cell is
+    /// true iff *any* fine cell in its tile is. Superset by construction,
+    /// so probing it first is an exact screen.
+    coarse: Vec<bool>,
+    coarse_w: usize,
+}
+
+/// Downsampling factor of the coarse screening mask.
+const COARSE: usize = 4;
+
+/// One BEV image's occupied cells as SoA world coordinates (cell centres),
+/// collected once by [`AlignmentScorer::collect_occupied`] and shared
+/// across every candidate transform scored against the same ego image.
+#[derive(Debug, Clone)]
+pub struct OccupiedCells {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl OccupiedCells {
+    /// Number of occupied cells collected.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the source image had no occupied cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
 }
 
 impl AlignmentScorer {
@@ -746,7 +792,74 @@ impl AlignmentScorer {
                 }
             }
         });
-        AlignmentScorer { bev: *ego.config(), dilated, size }
+        let height = dilated.len().checked_div(size).unwrap_or(0);
+        let coarse_w = size.div_ceil(COARSE).max(1);
+        let coarse_h = height.div_ceil(COARSE).max(1);
+        let mut coarse = vec![false; coarse_w * coarse_h];
+        for v in 0..height {
+            let row = &dilated[v * size..(v + 1) * size];
+            let crow = (v / COARSE) * coarse_w;
+            for (u, &d) in row.iter().enumerate() {
+                if d {
+                    coarse[crow + u / COARSE] = true;
+                }
+            }
+        }
+        AlignmentScorer { bev: *ego.config(), dilated, size, coarse, coarse_w }
+    }
+
+    /// Collects the world-frame centres of `other`'s occupied cells once,
+    /// for repeated scoring via [`AlignmentScorer::score_cells`]. Cell
+    /// order (and therefore every downstream float accumulation) matches
+    /// the raster sweep in [`AlignmentScorer::score`].
+    pub fn collect_occupied(&self, other: &BevImage) -> OccupiedCells {
+        let bev = &self.bev;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (u, v, &x) in other.grid().iter_cells() {
+            if x <= 1e-9 {
+                continue;
+            }
+            let p = bev.pixel_center(u, v);
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        OccupiedCells { xs, ys }
+    }
+
+    /// Fast scoring path: bit-identical value to
+    /// [`AlignmentScorer::score`], evaluated over a precollected
+    /// occupied-cell list with the transform's `sin_cos` hoisted out of the
+    /// loop and the coarse mask screening each probe.
+    pub fn score_cells(&self, cells: &OccupiedCells, transform: &Iso2) -> f64 {
+        let bev = &self.bev;
+        let h = self.size as isize;
+        let (sin, cos) = transform.yaw().sin_cos();
+        let t = transform.translation();
+        let mut mapped = 0usize;
+        let mut hits = 0usize;
+        for k in 0..cells.xs.len() {
+            let (x, y) = (cells.xs[k], cells.ys[k]);
+            // Exactly `transform.apply(pixel_center)` with sin_cos hoisted.
+            let world = Vec2::new((cos * x - sin * y) + t.x, (sin * x + cos * y) + t.y);
+            let p = bev.world_to_pixel_f(world);
+            let (eu, ev) = (p.x.floor() as isize, p.y.floor() as isize);
+            if eu < 0 || ev < 0 || eu >= h || ev >= h {
+                continue;
+            }
+            mapped += 1;
+            let (u, v) = (eu as usize, ev as usize);
+            if self.coarse[(v / COARSE) * self.coarse_w + u / COARSE]
+                && self.dilated[v * self.size + u]
+            {
+                hits += 1;
+            }
+        }
+        if mapped < 30 {
+            // Too little co-visible content for the score to mean anything.
+            return 0.0;
+        }
+        hits as f64 / mapped as f64
     }
 
     /// The fraction of the other image's occupied cells that land within
@@ -961,6 +1074,32 @@ mod tests {
             RecoverError::GeometryMismatch,
         ] {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn coarse_to_fine_alignment_score_is_bit_identical() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        let truth = Iso2::new(0.35, Vec2::new(6.0, -3.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let scorer = AlignmentScorer::new(ego.bev());
+        let cells = scorer.collect_occupied(other.bev());
+        assert!(!cells.is_empty());
+        // True transform, identity, aliases, off-raster and large-angle
+        // candidates: naive raster sweep and coarse-to-fine cells path must
+        // return the exact same bits, including the mapped<30 cutoff.
+        let candidates = [
+            truth,
+            Iso2::IDENTITY,
+            Iso2::new(-0.35, Vec2::new(-6.0, 3.0)),
+            Iso2::new(3.0, Vec2::new(0.5, 0.5)),
+            Iso2::new(0.35, Vec2::new(400.0, 400.0)), // maps almost everything off-raster
+            Iso2::new(1.7, Vec2::new(-12.0, 9.0)),
+        ];
+        for t in &candidates {
+            let naive = scorer.score(other.bev(), t);
+            let fast = scorer.score_cells(&cells, t);
+            assert_eq!(naive.to_bits(), fast.to_bits(), "transform {t}");
         }
     }
 }

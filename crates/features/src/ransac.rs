@@ -4,12 +4,33 @@
 //! 14). The returned inlier count is the paper's confidence signal: §V-A
 //! declares a recovery successful when `Inliers_bv > 25` and
 //! `Inliers_box > 6`.
+//!
+//! Two implementations share one contract:
+//!
+//! * [`ransac_rigid_naive`] — the reference scan: fit every pre-drawn
+//!   minimal sample, score it against all `n` correspondences, keep the
+//!   strict running best, stop at the adaptive early-exit fraction.
+//! * [`ransac_rigid`] / [`ransac_rigid_guided`] — the layered fast path:
+//!   SoA transform-and-count kernel with a hoisted `sin_cos`, max-consensus
+//!   bail (a hypothesis is abandoned the moment the unscored remainder
+//!   cannot lift it above a provably safe bound — the SPRT-flavoured
+//!   sequential test), PROSAC-style quality-ordered preview scores that
+//!   raise that bound before the scan starts, and duplicate-sample
+//!   memoisation. The fast path returns the **bit-identical**
+//!   `RansacResult` (same inlier set, same pose bits, same iteration
+//!   count) and the same errors as the naive scan for every input, seed and
+//!   `bba-par` thread width; `DESIGN.md` → *RANSAC fast path* carries the
+//!   determinism argument and the proptests in this crate pin it.
 
-use bba_geometry::{fit_rigid_2d, Iso2, Vec2};
+use bba_geometry::{fit_rigid_2d, fit_rigid_2pt, Iso2, Vec2};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// RANSAC parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,14 +113,79 @@ impl fmt::Display for RansacError {
 
 impl Error for RansacError {}
 
-/// Estimates the rigid transform mapping `src[i]` near `dst[i]` in the
-/// presence of outliers.
+/// Draws the minimal samples (two distinct correspondences each) up front
+/// on the calling thread, so the rng stream is consumed identically at
+/// every thread count; fitting and scoring each hypothesis is then a pure
+/// function of its sample and parallelises freely. Both the naive and the
+/// fast scan consume exactly this sequence.
+fn draw_samples<R: Rng + ?Sized>(n: usize, iterations: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    (0..iterations)
+        .map(|_| {
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n);
+            while j == i {
+                j = rng.random_range(0..n);
+            }
+            (i, j)
+        })
+        .collect()
+}
+
+/// Shared tail of both scans: consensus check, refit on the winning set,
+/// then one expand/re-fit pass (a single guided re-estimation markedly
+/// stabilises the estimate).
+fn refit_and_expand(
+    src: &[Vec2],
+    dst: &[Vec2],
+    mut best_inliers: Vec<usize>,
+    iterations: usize,
+    config: &RansacConfig,
+    thresh_sq: f64,
+) -> Result<RansacResult, RansacError> {
+    let n = src.len();
+    if best_inliers.len() < config.min_inliers.max(2) {
+        return Err(RansacError::NoConsensus {
+            best: best_inliers.len(),
+            required: config.min_inliers.max(2),
+        });
+    }
+    let refit = |idx: &[usize]| {
+        let s: Vec<Vec2> = idx.iter().map(|&k| src[k]).collect();
+        let d: Vec<Vec2> = idx.iter().map(|&k| dst[k]).collect();
+        fit_rigid_2d(&s, &d)
+    };
+    let mut transform = refit(&best_inliers).map_err(|_| RansacError::NoConsensus {
+        best: best_inliers.len(),
+        required: config.min_inliers.max(2),
+    })?;
+    let expanded: Vec<usize> =
+        (0..n).filter(|&k| (transform.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
+    if expanded.len() >= best_inliers.len() {
+        if let Ok(t2) = refit(&expanded) {
+            transform = t2;
+            best_inliers = expanded;
+        }
+    }
+
+    Ok(RansacResult {
+        transform,
+        num_inliers: best_inliers.len(),
+        inliers: best_inliers,
+        iterations,
+    })
+}
+
+/// The reference scorer: fits and fully scores every drawn sample in order.
+///
+/// This is the bit-exactness oracle for [`ransac_rigid`]; it stays in-tree
+/// so the equivalence proptests (and the `ransac` Criterion bench) always
+/// have the naive semantics to compare against.
 ///
 /// # Errors
 ///
 /// Returns [`RansacError`] on malformed input or when no model reaches
 /// `min_inliers`.
-pub fn ransac_rigid<R: Rng + ?Sized>(
+pub fn ransac_rigid_naive<R: Rng + ?Sized>(
     src: &[Vec2],
     dst: &[Vec2],
     config: &RansacConfig,
@@ -114,22 +200,7 @@ pub fn ransac_rigid<R: Rng + ?Sized>(
     }
 
     let thresh_sq = config.inlier_threshold * config.inlier_threshold;
-
-    // Minimal samples (two distinct correspondences each) are drawn up
-    // front on the calling thread, so the rng stream is consumed
-    // identically at every thread count; fitting and scoring each
-    // hypothesis is then a pure function of its sample and parallelises
-    // freely.
-    let samples: Vec<(usize, usize)> = (0..config.max_iterations)
-        .map(|_| {
-            let i = rng.random_range(0..n);
-            let mut j = rng.random_range(0..n);
-            while j == i {
-                j = rng.random_range(0..n);
-            }
-            (i, j)
-        })
-        .collect();
+    let samples = draw_samples(n, config.max_iterations, rng);
     let score = |&(i, j): &(usize, usize)| -> Option<Vec<usize>> {
         // Degenerate (coincident) samples cannot define a rotation.
         if (src[i] - src[j]).norm_sq() < 1e-12 {
@@ -164,39 +235,313 @@ pub fn ransac_rigid<R: Rng + ?Sized>(
         }
     }
 
-    if best_inliers.len() < config.min_inliers.max(2) {
-        return Err(RansacError::NoConsensus {
-            best: best_inliers.len(),
-            required: config.min_inliers.max(2),
-        });
+    refit_and_expand(src, dst, best_inliers, iterations, config, thresh_sq)
+}
+
+/// Estimates the rigid transform mapping `src[i]` near `dst[i]` in the
+/// presence of outliers.
+///
+/// Runs the layered fast path (see the module docs); the result is
+/// bit-identical to [`ransac_rigid_naive`] on the same inputs and seed.
+///
+/// # Errors
+///
+/// Returns [`RansacError`] on malformed input or when no model reaches
+/// `min_inliers`.
+pub fn ransac_rigid<R: Rng + ?Sized>(
+    src: &[Vec2],
+    dst: &[Vec2],
+    config: &RansacConfig,
+    rng: &mut R,
+) -> Result<RansacResult, RansacError> {
+    ransac_rigid_guided(src, dst, None, config, rng)
+}
+
+/// How many of the best-quality distinct samples are fully pre-scored to
+/// seed the bail bound before the scan starts (the PROSAC-style layer).
+const PREVIEW_SAMPLES: usize = 16;
+
+/// Outcome of evaluating one hypothesis. `Scored` carries the exact inlier
+/// count; `Bailed` certifies only that the count cannot affect the scan
+/// (it is at or below the bail bound the evaluation ran under).
+enum HypothesisOutcome {
+    /// Coincident sample points or a failed fit — no model.
+    Degenerate,
+    /// Abandoned early; provably irrelevant to best/exit/winner.
+    Bailed,
+    /// Fully counted.
+    Scored(u32),
+    /// Same unordered pair as the earlier sample at this index; the twin's
+    /// resolution transfers because the two-point fit is bit-commutative
+    /// in its pair order.
+    Duplicate(u32),
+}
+
+/// [`ransac_rigid`] with optional per-correspondence quality weights
+/// (lower is better — matcher descriptor distances plug in directly).
+///
+/// Quality only *schedules* work: the `PREVIEW_SAMPLES` distinct samples
+/// with the smallest summed quality are scored first so the bail bound
+/// starts high. The returned result is bit-identical to
+/// [`ransac_rigid_naive`] with or without `quality`, at every `bba-par`
+/// thread width. A `quality` slice whose length differs from the
+/// correspondence count is ignored.
+///
+/// # Errors
+///
+/// Returns [`RansacError`] on malformed input or when no model reaches
+/// `min_inliers`.
+pub fn ransac_rigid_guided<R: Rng + ?Sized>(
+    src: &[Vec2],
+    dst: &[Vec2],
+    quality: Option<&[f64]>,
+    config: &RansacConfig,
+    rng: &mut R,
+) -> Result<RansacResult, RansacError> {
+    if src.len() != dst.len() {
+        return Err(RansacError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    let n = src.len();
+    if n < 2 {
+        return Err(RansacError::TooFewCorrespondences { got: n });
     }
 
-    // Refit on the consensus set, then re-evaluate inliers once (a single
-    // guided re-estimation pass markedly stabilises the estimate).
-    let refit = |idx: &[usize]| {
-        let s: Vec<Vec2> = idx.iter().map(|&k| src[k]).collect();
-        let d: Vec<Vec2> = idx.iter().map(|&k| dst[k]).collect();
-        fit_rigid_2d(&s, &d)
+    let thresh_sq = config.inlier_threshold * config.inlier_threshold;
+    let samples = draw_samples(n, config.max_iterations, rng);
+    let n_samples = samples.len();
+
+    // SoA lanes of the correspondences keep the counting kernel's loads
+    // unit-stride and autovectorisable.
+    let sx: Vec<f64> = src.iter().map(|p| p.x).collect();
+    let sy: Vec<f64> = src.iter().map(|p| p.y).collect();
+    let dx: Vec<f64> = dst.iter().map(|p| p.x).collect();
+    let dy: Vec<f64> = dst.iter().map(|p| p.y).collect();
+
+    let sample_model = |(i, j): (usize, usize)| -> Option<Iso2> {
+        // Degenerate (coincident) samples cannot define a rotation.
+        if (src[i] - src[j]).norm_sq() < 1e-12 {
+            return None;
+        }
+        fit_rigid_2pt(src[i], src[j], dst[i], dst[j]).ok()
     };
-    let mut transform = refit(&best_inliers).map_err(|_| RansacError::NoConsensus {
-        best: best_inliers.len(),
-        required: config.min_inliers.max(2),
-    })?;
-    let expanded: Vec<usize> =
-        (0..n).filter(|&k| (transform.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
-    if expanded.len() >= best_inliers.len() {
-        if let Ok(t2) = refit(&expanded) {
-            transform = t2;
-            best_inliers = expanded;
+
+    // The naive scan exits once `count as f64 >= early_exit_fraction * n`.
+    // `exit_cap` is the largest count that can NOT trigger that exit: every
+    // bail bound is clamped to it, otherwise a bailed hypothesis could have
+    // been the naive loop's exit trigger and the iteration count (and
+    // winner) would diverge.
+    let exit_f = config.early_exit_fraction * n as f64;
+    let exits = |count: usize| count as f64 >= exit_f;
+    let exit_cap: usize = if !exit_f.is_finite() || exit_f > n as f64 {
+        usize::MAX
+    } else {
+        let mut t = if exit_f <= 0.0 { 0 } else { exit_f.ceil() as usize };
+        if (t as f64) < exit_f {
+            t += 1;
+        }
+        t.saturating_sub(1)
+    };
+
+    // Duplicate-sample table: (i, j) and (j, i) produce bit-identical
+    // models (two-term IEEE sums commute), so a repeated unordered pair
+    // reuses its first occurrence's resolution instead of rescoring. With
+    // `max_iterations` far above the number of distinct pairs — stage 1
+    // draws 3000 samples from often < 1000 pairs — this alone removes most
+    // of the work.
+    let mut first_seen: HashMap<u64, u32> = HashMap::with_capacity(n_samples);
+    let mut dup_of: Vec<u32> = vec![u32::MAX; n_samples];
+    for (k, &(i, j)) in samples.iter().enumerate() {
+        let key = ((i.min(j) as u64) << 32) | (i.max(j) as u64);
+        match first_seen.entry(key) {
+            Entry::Occupied(e) => dup_of[k] = *e.get(),
+            Entry::Vacant(e) => {
+                e.insert(k as u32);
+            }
         }
     }
 
-    Ok(RansacResult {
-        transform,
-        num_inliers: best_inliers.len(),
-        inliers: best_inliers,
-        iterations,
-    })
+    // PROSAC-style preview: fully score the distinct samples whose two
+    // correspondences have the smallest summed quality (matcher distance).
+    // Their exact counts are cached for the scan AND feed a suffix-max
+    // table: while a previewed count `G` still lies ahead of the scan
+    // cursor, any hypothesis that cannot reach `G` can be bailed (clamped
+    // to `exit_cap`), because the eventual winner is guaranteed to reach at
+    // least `G` — the strict `- 1` keeps first-achiever tie-breaking
+    // intact.
+    let mut pre: Vec<Option<u32>> = vec![None; n_samples];
+    let mut preview_idx: Vec<u32> = Vec::new();
+    let mut preview_suffix: Vec<u32> = Vec::new();
+    if let Some(q) = quality.filter(|q| q.len() == n) {
+        let mut order: Vec<u32> =
+            (0..n_samples as u32).filter(|&k| dup_of[k as usize] == u32::MAX).collect();
+        let take = PREVIEW_SAMPLES.min(order.len());
+        if take > 0 {
+            let qsum = |k: u32| {
+                let (i, j) = samples[k as usize];
+                q[i] + q[j]
+            };
+            order.select_nth_unstable_by(take - 1, |&a, &b| {
+                qsum(a).total_cmp(&qsum(b)).then(a.cmp(&b))
+            });
+            let mut chosen = order[..take].to_vec();
+            chosen.sort_unstable();
+            for &k in &chosen {
+                if let Some(model) = sample_model(samples[k as usize]) {
+                    let (sin, cos) = model.yaw().sin_cos();
+                    let t = model.translation();
+                    // Bound 0 cannot bail mid-scan; a `None` here means the
+                    // full count was exactly zero.
+                    let count =
+                        count_inliers_bailing(&sx, &sy, &dx, &dy, cos, sin, t.x, t.y, thresh_sq, 0)
+                            .unwrap_or(0);
+                    pre[k as usize] = Some(count as u32);
+                }
+            }
+            let entries: Vec<(u32, u32)> =
+                chosen.iter().filter_map(|&k| pre[k as usize].map(|c| (k, c))).collect();
+            preview_idx = entries.iter().map(|&(k, _)| k).collect();
+            preview_suffix = vec![0; entries.len()];
+            let mut run = 0u32;
+            for (slot, &(_, c)) in entries.iter().enumerate().rev() {
+                run = run.max(c);
+                preview_suffix[slot] = run;
+            }
+        }
+    }
+    // Largest safe bail contribution from preview counts strictly ahead of
+    // index `k`.
+    let suffix_bound = |k: usize| -> usize {
+        let pos = preview_idx.partition_point(|&p| (p as usize) <= k);
+        if pos >= preview_idx.len() {
+            return 0;
+        }
+        (preview_suffix[pos] as usize).saturating_sub(1).min(exit_cap)
+    };
+
+    // The scan. Evaluation may run a chunk ahead in parallel; the merge
+    // walks outcomes strictly in draw order, so best/exit/winner replicate
+    // the serial scan exactly. Workers read the merged best through an
+    // atomic: any value they observe is a prefix-max at or below the true
+    // best at their index, so a bail it permits is always one the serial
+    // scan could also have taken — looser reads cost extra full scores,
+    // never a different result.
+    let best_so_far = AtomicUsize::new(0);
+    let eval = |k: usize| -> HypothesisOutcome {
+        let twin = dup_of[k];
+        if twin != u32::MAX {
+            return HypothesisOutcome::Duplicate(twin);
+        }
+        if let Some(count) = pre[k] {
+            return HypothesisOutcome::Scored(count);
+        }
+        let Some(model) = sample_model(samples[k]) else {
+            return HypothesisOutcome::Degenerate;
+        };
+        let bound = best_so_far.load(Ordering::Relaxed).max(suffix_bound(k));
+        let (sin, cos) = model.yaw().sin_cos();
+        let t = model.translation();
+        match count_inliers_bailing(&sx, &sy, &dx, &dy, cos, sin, t.x, t.y, thresh_sq, bound) {
+            Some(count) => HypothesisOutcome::Scored(count as u32),
+            None => HypothesisOutcome::Bailed,
+        }
+    };
+
+    // resolved[k]: -2 unvisited, -1 bailed/degenerate (irrelevant), else
+    // the exact count — what a later duplicate of sample `k` inherits.
+    let mut resolved: Vec<i64> = vec![-2; n_samples];
+    let mut best_count = 0usize;
+    let mut best_idx: Option<usize> = None;
+    let mut iterations = 0usize;
+    let threads = bba_par::current_threads();
+    let chunk = if threads <= 1 { 1 } else { threads * 8 };
+    bba_par::par_scan_chunked(n_samples, chunk, eval, |k, outcome| {
+        iterations = k + 1;
+        let count = match outcome {
+            HypothesisOutcome::Degenerate | HypothesisOutcome::Bailed => {
+                resolved[k] = -1;
+                return ControlFlow::Continue(());
+            }
+            HypothesisOutcome::Duplicate(twin) => {
+                let r = resolved[twin as usize];
+                resolved[k] = r;
+                if r < 0 {
+                    return ControlFlow::Continue(());
+                }
+                r as usize
+            }
+            HypothesisOutcome::Scored(count) => {
+                resolved[k] = i64::from(count);
+                count as usize
+            }
+        };
+        if count > best_count {
+            best_count = count;
+            best_idx = Some(k);
+            best_so_far.store(count, Ordering::Relaxed);
+            if exits(count) {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+
+    let required = config.min_inliers.max(2);
+    let Some(winner) = best_idx.filter(|_| best_count >= required) else {
+        return Err(RansacError::NoConsensus { best: best_count, required });
+    };
+    // Materialise the winning consensus set once, with the exact predicate
+    // the naive scorer uses.
+    let model = sample_model(samples[winner])
+        .expect("the winning sample was scored, so its model fit succeeded");
+    let best_inliers: Vec<usize> =
+        (0..n).filter(|&k| (model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
+    debug_assert_eq!(best_inliers.len(), best_count);
+    refit_and_expand(src, dst, best_inliers, iterations, config, thresh_sq)
+}
+
+/// Counts correspondences the model maps within `sqrt(thresh_sq)` of their
+/// destination, abandoning the hypothesis as soon as the unscored remainder
+/// cannot lift the count strictly above `bound` (returns `None`; the exact
+/// count is then provably `<= bound`).
+///
+/// The per-point arithmetic reproduces
+/// `(model.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq` operation for
+/// operation, with the model's `sin_cos` hoisted out of the loop — the
+/// hoist is bit-safe because `Vec2::rotated` computes the same `sin_cos`
+/// of the same yaw on every call.
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat scalar lanes keep the kernel SIMD-friendly
+fn count_inliers_bailing(
+    sx: &[f64],
+    sy: &[f64],
+    dx: &[f64],
+    dy: &[f64],
+    cos: f64,
+    sin: f64,
+    tx: f64,
+    ty: f64,
+    thresh_sq: f64,
+    bound: usize,
+) -> Option<usize> {
+    const BLOCK: usize = 64;
+    let n = sx.len();
+    let mut count = 0usize;
+    let mut k = 0usize;
+    while k < n {
+        let end = (k + BLOCK).min(n);
+        for idx in k..end {
+            let px = (cos * sx[idx] - sin * sy[idx]) + tx;
+            let py = (sin * sx[idx] + cos * sy[idx]) + ty;
+            let ex = px - dx[idx];
+            let ey = py - dy[idx];
+            count += usize::from(ex * ex + ey * ey <= thresh_sq);
+        }
+        k = end;
+        if count + (n - k) <= bound {
+            return None;
+        }
+    }
+    Some(count)
 }
 
 #[cfg(test)]
@@ -215,6 +560,20 @@ mod tests {
             (0..n).map(|i| Vec2::new((i * 13 % 29) as f64, (i * 7 % 31) as f64)).collect();
         let dst = src.iter().map(|&p| t.apply(p)).collect();
         (src, dst)
+    }
+
+    /// Asserts the fast path and the naive reference agree exactly —
+    /// including errors — for the given inputs and seed.
+    fn assert_fast_matches_naive(
+        src: &[Vec2],
+        dst: &[Vec2],
+        quality: Option<&[f64]>,
+        cfg: &RansacConfig,
+        seed: u64,
+    ) {
+        let naive = ransac_rigid_naive(src, dst, cfg, &mut StdRng::seed_from_u64(seed));
+        let fast = ransac_rigid_guided(src, dst, quality, cfg, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(naive, fast);
     }
 
     #[test]
@@ -309,5 +668,132 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn fast_matches_naive_on_the_standard_scenarios() {
+        // Clean data (early exit fires), half outliers, pure noise
+        // (NoConsensus), duplicates-heavy tiny input.
+        let (src, dst) = clean_pairs(50);
+        for seed in 0..20 {
+            assert_fast_matches_naive(&src, &dst, None, &RansacConfig::default(), seed);
+        }
+
+        let (src, mut dst) = clean_pairs(40);
+        for k in 0..20 {
+            dst[2 * k] = Vec2::new(1000.0 + k as f64 * 17.0, -500.0 - k as f64 * 3.0);
+        }
+        let cfg = RansacConfig { max_iterations: 700, ..Default::default() };
+        for seed in 0..20 {
+            assert_fast_matches_naive(&src, &dst, None, &cfg, seed);
+        }
+
+        let noise_src: Vec<Vec2> =
+            (0..30).map(|i| Vec2::new(i as f64 * 3.1, (i * i) as f64 % 17.0)).collect();
+        let noise_dst: Vec<Vec2> =
+            (0..30).map(|i| Vec2::new((i * i * 7) as f64 % 97.0, -(i as f64) * 5.3)).collect();
+        let cfg = RansacConfig { inlier_threshold: 0.05, min_inliers: 10, ..Default::default() };
+        for seed in 0..20 {
+            assert_fast_matches_naive(&noise_src, &noise_dst, None, &cfg, seed);
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_with_quality_schedule() {
+        let (src, mut dst) = clean_pairs(40);
+        for k in 0..13 {
+            dst[3 * k] = Vec2::new(-800.0 + k as f64 * 11.0, 900.0 + k as f64 * 5.0);
+        }
+        // Quality that actually ranks inliers first, plus adversarial
+        // (inverted and constant) schedules: none may change the result.
+        let good: Vec<f64> = (0..40).map(|i| if i % 3 == 0 { 9.0 } else { 0.1 }).collect();
+        let inverted: Vec<f64> = good.iter().map(|q| -q).collect();
+        let constant = vec![1.0; 40];
+        let wrong_len = vec![1.0; 7];
+        let cfg = RansacConfig { max_iterations: 500, ..Default::default() };
+        for seed in 0..12 {
+            for q in [&good, &inverted, &constant, &wrong_len] {
+                assert_fast_matches_naive(&src, &dst, Some(q), &cfg, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_when_exit_fraction_is_unreachable() {
+        // early_exit_fraction > 1 makes the exit unreachable: the scan must
+        // walk the full iteration budget in both implementations.
+        let (src, mut dst) = clean_pairs(30);
+        for k in 0..10 {
+            dst[3 * k] = Vec2::new(500.0 + k as f64, 500.0 - k as f64);
+        }
+        let cfg =
+            RansacConfig { max_iterations: 300, early_exit_fraction: 2.0, ..Default::default() };
+        for seed in 0..12 {
+            assert_fast_matches_naive(&src, &dst, None, &cfg, seed);
+        }
+        let r = ransac_rigid(&src, &dst, &cfg, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(r.iterations, 300);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_duplicate_points() {
+        // Many coincident correspondences: most samples are degenerate.
+        let mut src = vec![Vec2::new(1.0, 1.0); 8];
+        let mut dst = vec![Vec2::new(2.0, 2.0); 8];
+        src.extend([Vec2::new(5.0, 0.0), Vec2::new(0.0, 5.0), Vec2::new(-4.0, 2.0)]);
+        dst.extend([Vec2::new(6.0, 1.0), Vec2::new(1.0, 6.0), Vec2::new(-3.0, 3.0)]);
+        let cfg = RansacConfig { min_inliers: 2, ..Default::default() };
+        for seed in 0..20 {
+            assert_fast_matches_naive(&src, &dst, None, &cfg, seed);
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_at_every_thread_width() {
+        let (src, mut dst) = clean_pairs(60);
+        for k in 0..25 {
+            dst[2 * k] = Vec2::new(300.0 + k as f64 * 7.0, -200.0 + k as f64 * 13.0);
+        }
+        let quality: Vec<f64> = (0..60).map(|i| ((i * 37) % 61) as f64).collect();
+        let cfg = RansacConfig { max_iterations: 600, ..Default::default() };
+        let reference = bba_par::with_threads(1, || {
+            ransac_rigid_naive(&src, &dst, &cfg, &mut StdRng::seed_from_u64(11))
+        });
+        for threads in 1..=8 {
+            let fast = bba_par::with_threads(threads, || {
+                ransac_rigid_guided(
+                    &src,
+                    &dst,
+                    Some(&quality),
+                    &cfg,
+                    &mut StdRng::seed_from_u64(11),
+                )
+            });
+            assert_eq!(reference, fast, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn count_kernel_bails_only_below_bound() {
+        let (src, dst) = clean_pairs(32);
+        let sx: Vec<f64> = src.iter().map(|p| p.x).collect();
+        let sy: Vec<f64> = src.iter().map(|p| p.y).collect();
+        let dx: Vec<f64> = dst.iter().map(|p| p.x).collect();
+        let dy: Vec<f64> = dst.iter().map(|p| p.y).collect();
+        let t = truth();
+        let (sin, cos) = t.yaw().sin_cos();
+        let tr = t.translation();
+        // Perfect transform: all 32 are inliers at any sane threshold.
+        let full = count_inliers_bailing(&sx, &sy, &dx, &dy, cos, sin, tr.x, tr.y, 4.0, 0);
+        assert_eq!(full, Some(32));
+        // A bound at or above the true count forces a bail...
+        assert_eq!(count_inliers_bailing(&sx, &sy, &dx, &dy, cos, sin, tr.x, tr.y, 4.0, 32), None);
+        // ...while any bound below it must still return the exact count.
+        assert_eq!(
+            count_inliers_bailing(&sx, &sy, &dx, &dy, cos, sin, tr.x, tr.y, 4.0, 31),
+            Some(32)
+        );
+        // Identity transform on rotated data: zero inliers, bound 0 bails.
+        assert_eq!(count_inliers_bailing(&sx, &sy, &dx, &dy, 1.0, 0.0, 0.0, 0.0, 1e-6, 0), None);
     }
 }

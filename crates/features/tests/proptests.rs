@@ -5,14 +5,14 @@
 use bba_features::matcher::match_sets_naive;
 use bba_features::{
     describe_keypoints_rotated, detect_keypoints, match_descriptors, match_sets, ransac_rigid,
-    Descriptor, DescriptorConfig, DescriptorSet, Keypoint, KeypointConfig, MatcherConfig,
-    PatchSamples, RansacConfig, RotationSweep, SampleWeighting,
+    ransac_rigid_guided, ransac_rigid_naive, Descriptor, DescriptorConfig, DescriptorSet, Keypoint,
+    KeypointConfig, MatcherConfig, PatchSamples, RansacConfig, RotationSweep, SampleWeighting,
 };
 use bba_geometry::{Iso2, Vec2};
 use bba_signal::{Grid, LogGaborConfig, MaxIndexMap};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Random L2-normalised descriptor sets for the matcher properties.
 fn descriptor_set(max: usize) -> impl Strategy<Value = DescriptorSet> {
@@ -203,6 +203,72 @@ proptest! {
             let fast = samples.rebin(&sweep, k).to_descriptors();
             let naive = describe_keypoints_rotated(&mim, &kps, &cfg, angle);
             prop_assert_eq!(fast, naive, "hypothesis {} (angle {})", k, angle);
+        }
+    }
+
+    /// The layered RANSAC fast path returns the exact `Result` of the naive
+    /// reference scan — same pose bits, inlier set, iteration count and
+    /// error variant — for random correspondence sets (outliers, exact
+    /// duplicates, tiny inputs), random configurations, any quality
+    /// schedule (absent, random, or wrong-length) and any thread width.
+    #[test]
+    fn ransac_fast_path_equals_naive_bit_for_bit(
+        pts in prop::collection::vec((-60.0..60.0f64, -60.0..60.0f64, 0..5u8), 0..40),
+        angle in -3.0..3.0f64,
+        tx in -15.0..15.0f64,
+        ty in -15.0..15.0f64,
+        max_iterations in 1usize..400,
+        inlier_threshold in 0.2..3.0f64,
+        min_inliers in 2usize..10,
+        early_exit_fraction in prop_oneof![0.3..1.0f64, Just(2.0)],
+        seed in any::<u64>(),
+        qmode in 0u8..3,
+        qseed in any::<u64>(),
+        threads in 2usize..9,
+    ) {
+        let truth = Iso2::new(angle, Vec2::new(tx, ty));
+        let mut src: Vec<Vec2> = Vec::new();
+        let mut dst: Vec<Vec2> = Vec::new();
+        for &(x, y, flag) in &pts {
+            match flag {
+                // Exact duplicate of the previous correspondence: stresses
+                // the degenerate 2-point fits and duplicate-sample memo.
+                4 if !src.is_empty() => {
+                    src.push(*src.last().unwrap());
+                    dst.push(*dst.last().unwrap());
+                }
+                // Gross outlier with an index-incoherent displacement.
+                0 => {
+                    src.push(Vec2::new(x, y));
+                    dst.push(truth.apply(Vec2::new(x, y)) + Vec2::new(120.0 + x, -90.0 + y));
+                }
+                _ => {
+                    src.push(Vec2::new(x, y));
+                    dst.push(truth.apply(Vec2::new(x, y)));
+                }
+            }
+        }
+        let n = src.len();
+        let cfg = RansacConfig { max_iterations, inlier_threshold, min_inliers, early_exit_fraction };
+        let quality: Option<Vec<f64>> = match qmode {
+            0 => None,
+            m => {
+                let mut qrng = StdRng::seed_from_u64(qseed);
+                // Wrong-length schedules must be ignored, not crash.
+                let len = if m == 1 { n } else { n + 1 };
+                Some((0..len).map(|_| qrng.random_range(0.0..10.0)).collect())
+            }
+        };
+        let naive = bba_par::with_threads(1, || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ransac_rigid_naive(&src, &dst, &cfg, &mut rng)
+        });
+        for budget in [1usize, threads] {
+            let fast = bba_par::with_threads(budget, || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                ransac_rigid_guided(&src, &dst, quality.as_deref(), &cfg, &mut rng)
+            });
+            prop_assert_eq!(&naive, &fast, "diverged at {} threads (qmode {})", budget, qmode);
         }
     }
 

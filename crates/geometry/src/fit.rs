@@ -136,6 +136,54 @@ pub fn weighted_fit_rigid_2d(
     Ok(Iso2::new(yaw, t))
 }
 
+/// Two-correspondence special case of [`fit_rigid_2d`], bit-identical to
+/// `fit_rigid_2d(&[s0, s1], &[d0, d1])` but without slices or the generic
+/// accumulation loop — the shape RANSAC's minimal-sample hypothesis fit
+/// takes thousands of times per call.
+///
+/// The accumulation order below deliberately mirrors the general loop
+/// (start from zero, add the two terms in index order) so the returned
+/// transform has the exact same bits; `crates/features` pins that
+/// equivalence under proptest.
+///
+/// # Errors
+///
+/// Returns [`RigidFitError::Degenerate`] when the two source points
+/// (near-)coincide; length/count errors cannot occur by construction.
+#[inline]
+pub fn fit_rigid_2pt(s0: Vec2, s1: Vec2, d0: Vec2, d1: Vec2) -> Result<Iso2, RigidFitError> {
+    let total_w = 2.0;
+    let mut s_mean = Vec2::ZERO;
+    let mut d_mean = Vec2::ZERO;
+    s_mean += s0;
+    d_mean += d0;
+    s_mean += s1;
+    d_mean += d1;
+    s_mean = s_mean / total_w;
+    d_mean = d_mean / total_w;
+
+    let mut dot = 0.0;
+    let mut cross = 0.0;
+    let mut spread = 0.0;
+    let a0 = s0 - s_mean;
+    let b0 = d0 - d_mean;
+    dot += a0.dot(b0);
+    cross += a0.cross(b0);
+    spread += a0.norm_sq();
+    let a1 = s1 - s_mean;
+    let b1 = d1 - d_mean;
+    dot += a1.dot(b1);
+    cross += a1.cross(b1);
+    spread += a1.norm_sq();
+    if spread < 1e-18 {
+        return Err(RigidFitError::Degenerate);
+    }
+
+    let yaw = cross.atan2(dot);
+    let t = d_mean - s_mean.rotated(yaw);
+    Ok(Iso2::new(yaw, t))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +261,64 @@ mod tests {
         let p = Vec2::new(1.0, 1.0);
         let e = fit_rigid_2d(&[p, p, p], &[p, p, p]).unwrap_err();
         assert_eq!(e, RigidFitError::Degenerate);
+    }
+
+    #[test]
+    fn two_point_fit_matches_general_fit_bit_for_bit() {
+        // A spread of pair geometries, including negative coords, tiny
+        // offsets and signed zeros — the bits must agree exactly.
+        let pairs = [
+            (Vec2::new(0.0, 0.0), Vec2::new(5.0, 0.0), Vec2::new(1.0, 1.0), Vec2::new(4.9, 2.3)),
+            (
+                Vec2::new(-3.25, 7.5),
+                Vec2::new(12.0, -0.125),
+                Vec2::new(8.0, 8.0),
+                Vec2::new(-1.0, 2.0),
+            ),
+            (
+                Vec2::new(1e-7, -1e-7),
+                Vec2::new(-2e-7, 3e-7),
+                Vec2::new(0.5, 0.5),
+                Vec2::new(0.25, -0.75),
+            ),
+            (
+                Vec2::new(-0.0, 0.0),
+                Vec2::new(0.0, -0.0),
+                Vec2::new(-0.0, -0.0),
+                Vec2::new(1.0, 1.0),
+            ),
+            (
+                Vec2::new(100.5, -200.25),
+                Vec2::new(-300.125, 400.0),
+                Vec2::new(7.0, 9.0),
+                Vec2::new(-11.0, 13.0),
+            ),
+        ];
+        for (s0, s1, d0, d1) in pairs {
+            let general = fit_rigid_2d(&[s0, s1], &[d0, d1]);
+            let special = fit_rigid_2pt(s0, s1, d0, d1);
+            match (general, special) {
+                (Ok(g), Ok(s)) => {
+                    assert_eq!(g.yaw().to_bits(), s.yaw().to_bits());
+                    assert_eq!(g.translation().x.to_bits(), s.translation().x.to_bits());
+                    assert_eq!(g.translation().y.to_bits(), s.translation().y.to_bits());
+                }
+                (g, s) => assert_eq!(g, s),
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_fit_coincident_points_degenerate() {
+        let p = Vec2::new(2.0, 3.0);
+        assert_eq!(
+            fit_rigid_2pt(p, p, Vec2::ZERO, Vec2::new(1.0, 0.0)),
+            Err(RigidFitError::Degenerate)
+        );
+        assert_eq!(
+            fit_rigid_2d(&[p, p], &[Vec2::ZERO, Vec2::new(1.0, 0.0)]),
+            Err(RigidFitError::Degenerate)
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use bb_align::{BbAlign, BbAlignConfig, RecoverError};
 use bba_dataset::{Dataset, DatasetConfig};
 use bba_detect::{Detector, DetectorModel};
+use bba_features::{ransac_rigid_guided, ransac_rigid_naive, RansacConfig, RansacError};
 use bba_geometry::Vec2;
 use bba_lidar::{LidarConfig, Scanner};
 use bba_scene::{Scenario, ScenarioConfig, ScenarioPreset, Trajectory, World};
@@ -118,6 +119,86 @@ fn stage2_with_zero_boxes_falls_back_to_stage1() {
         assert!(!r.is_success(), "success criterion requires stage-2 inliers");
         assert_eq!(r.transform, r.bv.transform, "must fall back to stage 1");
     }
+}
+
+/// Runs both RANSAC implementations (quality absent and present) on the
+/// same degenerate input and requires identical outcomes — the fast path
+/// must fail exactly like the naive scan, never panic, and terminate
+/// within the iteration budget.
+fn assert_ransac_failure_parity(
+    src: &[Vec2],
+    dst: &[Vec2],
+    cfg: &RansacConfig,
+    label: &str,
+) -> Result<bba_features::RansacResult, RansacError> {
+    let naive = {
+        let mut rng = StdRng::seed_from_u64(99);
+        ransac_rigid_naive(src, dst, cfg, &mut rng)
+    };
+    let quality: Vec<f64> = (0..src.len()).map(|i| i as f64).collect();
+    for q in [None, Some(quality.as_slice())] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let fast = ransac_rigid_guided(src, dst, q, cfg, &mut rng);
+        assert_eq!(naive, fast, "{label}: fast path diverged (quality: {})", q.is_some());
+    }
+    naive
+}
+
+#[test]
+fn ransac_under_three_correspondences_fails_identically() {
+    let cfg = RansacConfig::default();
+    let p = Vec2::new(3.0, 4.0);
+    for pts in [vec![], vec![p], vec![p, Vec2::new(8.0, -2.0)]] {
+        let r = assert_ransac_failure_parity(&pts, &pts, &cfg, "tiny input");
+        match pts.len() {
+            0 | 1 => assert!(
+                matches!(r, Err(RansacError::TooFewCorrespondences { .. })),
+                "{} point(s): got {r:?}",
+                pts.len()
+            ),
+            // Two distinct identity-mapped points fit a model with two
+            // inliers — still below the default min_inliers of six.
+            _ => assert!(matches!(r, Err(RansacError::NoConsensus { best: 2, .. })), "got {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn ransac_all_collinear_points_behave_identically() {
+    // Collinear but distinct points still pin a rigid transform (two
+    // distinct points fix rotation + translation); the contract under test
+    // is only that both implementations agree bit-for-bit on the outcome.
+    let cfg = RansacConfig { min_inliers: 4, ..Default::default() };
+    let src: Vec<Vec2> = (0..12).map(|i| Vec2::new(i as f64, 2.0 * i as f64)).collect();
+    let dst: Vec<Vec2> = src.iter().map(|p| Vec2::new(-p.y + 1.0, p.x - 3.0)).collect();
+    let r = assert_ransac_failure_parity(&src, &dst, &cfg, "collinear");
+    let r = r.expect("distinct collinear correspondences are solvable");
+    assert_eq!(r.num_inliers, 12);
+}
+
+#[test]
+fn ransac_all_outliers_reports_no_consensus_identically() {
+    // Index-incoherent scatter: no rigid model explains more than a couple
+    // of correspondences, so the scan must exhaust its budget and fail.
+    let cfg = RansacConfig { max_iterations: 500, ..Default::default() };
+    let src: Vec<Vec2> = (0..20).map(|i| Vec2::new(i as f64, (i * i % 13) as f64)).collect();
+    let dst: Vec<Vec2> =
+        (0..20).map(|i| Vec2::new(200.0 - 17.0 * i as f64, ((i * i * i) % 101) as f64)).collect();
+    let r = assert_ransac_failure_parity(&src, &dst, &cfg, "all outliers");
+    assert!(matches!(r, Err(RansacError::NoConsensus { .. })), "got {r:?}");
+}
+
+#[test]
+fn ransac_all_duplicate_points_fail_identically_without_spinning() {
+    // Every sample pair is coincident, so every 2-point fit is degenerate:
+    // no model is ever scored, and both paths must report zero consensus
+    // after the full budget instead of looping or panicking.
+    let cfg = RansacConfig::default();
+    let p = Vec2::new(7.0, -1.0);
+    let src = vec![p; 15];
+    let dst = vec![Vec2::new(2.0, 2.0); 15];
+    let r = assert_ransac_failure_parity(&src, &dst, &cfg, "all duplicates");
+    assert!(matches!(r, Err(RansacError::NoConsensus { best: 0, .. })), "got {r:?}");
 }
 
 #[test]

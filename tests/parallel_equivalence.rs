@@ -9,8 +9,8 @@
 use bb_align::{BbAlign, BbAlignConfig};
 use bba_dataset::{Dataset, DatasetConfig};
 use bba_features::{
-    describe_keypoints, detect_keypoints, match_descriptors, ransac_rigid, DescriptorConfig,
-    KeypointConfig, MatcherConfig, RansacConfig,
+    describe_keypoints, detect_keypoints, match_descriptors, ransac_rigid, ransac_rigid_guided,
+    ransac_rigid_naive, DescriptorConfig, KeypointConfig, MatcherConfig, RansacConfig,
 };
 use bba_geometry::{Iso2, Vec2};
 use bba_signal::{FftWorkspace, Grid, LogGaborBank, LogGaborConfig, MaxIndexMap};
@@ -142,6 +142,47 @@ proptest! {
         };
         // RansacError is PartialEq too, so compare success AND failure.
         prop_assert_eq!(run(1), run(threads));
+    }
+
+    /// The guided fast path under its production config: a mostly-clean
+    /// correspondence set makes the 70% early exit fire within the first
+    /// few hypotheses, so the chunked scan breaks mid-stream — the exit
+    /// index, winner and pose bits must match the naive scan and stay
+    /// bit-identical at every thread width.
+    #[test]
+    fn guided_ransac_early_exit_bit_identical_across_thread_counts(
+        pts in prop::collection::vec((-20.0..20.0f64, -20.0..20.0f64, 0..8u8), 12..48),
+        angle in -3.0..3.0f64,
+        tx in -10.0..10.0f64,
+        ty in -10.0..10.0f64,
+        seed in 0..u64::MAX,
+    ) {
+        let truth = Iso2::new(angle, Vec2::new(tx, ty));
+        let src: Vec<Vec2> = pts.iter().map(|&(x, y, _)| Vec2::new(x, y)).collect();
+        // flag == 0 marks a rare outlier (expected rate 1/8), keeping the
+        // inlier fraction comfortably above the 0.7 exit threshold.
+        let dst: Vec<Vec2> = pts
+            .iter()
+            .map(|&(x, y, flag)| {
+                let p = truth.apply(Vec2::new(x, y));
+                if flag == 0 { p + Vec2::new(100.0 + x, -80.0 + y) } else { p }
+            })
+            .collect();
+        // The matcher-style quality channel: outliers rank last.
+        let quality: Vec<f64> =
+            pts.iter().map(|&(_, _, flag)| if flag == 0 { 9.0 } else { 0.5 }).collect();
+        let cfg = RansacConfig::default();
+        let naive = bba_par::with_threads(1, || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ransac_rigid_naive(&src, &dst, &cfg, &mut rng)
+        });
+        for threads in 1usize..=8 {
+            let fast = bba_par::with_threads(threads, || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                ransac_rigid_guided(&src, &dst, Some(&quality), &cfg, &mut rng)
+            });
+            prop_assert_eq!(&naive, &fast, "diverged at {} threads", threads);
+        }
     }
 }
 
