@@ -6,11 +6,13 @@
 //! per-frame recovery, and (b) how well a half-duty-cycle deployment
 //! (recover every other frame, extrapolate between) holds up — the paper's
 //! future-work point on time efficiency.
+//!
+//! Artifacts: `results/ext_tracking.json` (per-estimator error summary).
 
 use bb_align::{BbAlign, BbAlignConfig, PoseTracker, TrackerConfig};
 use bba_bench::cli;
 use bba_bench::harness::frames_of;
-use bba_bench::report::{banner, opt, print_table};
+use bba_bench::report::{banner, opt, print_table, write_results_json};
 use bba_bench::stats::percentile;
 use bba_dataset::{Dataset, DatasetConfig};
 use bba_scene::{ScenarioConfig, ScenarioPreset};
@@ -99,5 +101,34 @@ fn main() {
     println!(
         "\nexpected: tracking suppresses the gross per-frame aliases (gating) at similar\n\
          median accuracy; the half-duty-cycle track stays usable, halving compute."
+    );
+
+    use serde_json::Value;
+    let float = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
+    let estimator = |label: &str, v: &[f64], gross: Option<usize>| {
+        Value::Map(vec![
+            ("estimator".into(), Value::Str(label.into())),
+            ("n".into(), Value::UInt(v.len() as u64)),
+            ("median_dt_m".into(), float(percentile(v, 50.0))),
+            ("p90_dt_m".into(), float(percentile(v, 90.0))),
+            ("gross_over_5m".into(), gross.map_or(Value::Null, |g| Value::UInt(g as u64))),
+        ])
+    };
+    write_results_json(
+        "ext_tracking",
+        &Value::Map(vec![
+            ("bench".into(), Value::Str("ext_tracking".into())),
+            ("sequences".into(), Value::UInt(opts.frames as u64)),
+            ("frames_per_sequence".into(), Value::UInt(frames_per_seq as u64)),
+            ("seed".into(), Value::UInt(opts.seed)),
+            (
+                "estimators".into(),
+                Value::Seq(vec![
+                    estimator("per_frame_raw", &raw_errs, Some(raw_gross)),
+                    estimator("tracked_full_rate", &tracked_errs, Some(tracked_gross)),
+                    estimator("tracked_half_duty", &half_duty_errs, None),
+                ]),
+            ),
+        ]),
     );
 }

@@ -130,6 +130,11 @@ fn main() {
                 shards: 16,
                 max_batch_per_session: 1,
                 seed: opts.seed,
+                // Cold recoveries only: this sweep isolates serving
+                // overhead + full recovery compute. The warm-start
+                // steady state has its own experiment (`steady_state`).
+                warm_start: false,
+                ..Default::default()
             },
         )
         .with_recorder(recorder.clone());

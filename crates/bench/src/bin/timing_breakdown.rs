@@ -13,8 +13,9 @@
 //! `cargo bench -p bba-bench --bench stage1` for kernel-vs-naive
 //! micro-benchmarks with Criterion-grade statistics.
 
-use bb_align::{BbAlign, BbAlignConfig};
+use bb_align::{BbAlign, BbAlignConfig, PoseTracker, RecoveryPath, TrackerConfig};
 use bba_bench::cli;
+use bba_bench::harness::frames_of;
 use bba_bench::report::{banner, opt, print_table, write_metrics_json, write_results_json};
 use bba_bench::stats::percentile;
 use bba_dataset::{Dataset, DatasetConfig};
@@ -124,6 +125,43 @@ fn main() {
         }
     }
 
+    // Temporal warm start: what a verified warm hit costs against the cold
+    // path, measured on a 10 Hz sequence whose per-pair tracker is trained
+    // by the recoveries themselves (the steady_state experiment sweeps
+    // this across pair counts).
+    let mut warm_samples = (Vec::new(), Vec::new()); // (1 thread, N threads)
+    let mut cold_samples = (Vec::new(), Vec::new());
+    let warm_rng = StdRng::seed_from_u64(opts.seed ^ 0x57A2);
+    for (budget, warm_out, cold_out) in [
+        (1usize, &mut warm_samples.0, &mut cold_samples.0),
+        (threads, &mut warm_samples.1, &mut cold_samples.1),
+    ] {
+        let mut ds = Dataset::new(
+            DatasetConfig::standard().at_frame_interval(0.1),
+            opts.seed.wrapping_add(7331),
+        );
+        let mut tracker = PoseTracker::new(TrackerConfig::default());
+        let mut r = warm_rng.clone();
+        bba_par::with_threads(budget, || {
+            for _ in 0..opts.frames {
+                let pair = ds.next_pair().unwrap();
+                let (ego, other) = frames_of(&aligner, &pair);
+                let hint = tracker.warm_prediction(pair.time);
+                let t0 = Instant::now();
+                let Ok(w) = aligner.recover_warm(&ego, &other, hint.as_ref(), &mut r) else {
+                    continue;
+                };
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if w.path == RecoveryPath::WarmStart {
+                    warm_out.push(ms);
+                } else {
+                    cold_out.push(ms);
+                }
+                tracker.update(pair.time, &w.recovery);
+            }
+        });
+    }
+
     // One structured record per phase, feeding both the printed table and
     // the machine-readable results/timing_breakdown.json.
     struct PhaseStats {
@@ -161,6 +199,8 @@ fn main() {
         phase("stage 1 total", &serial.stage1, &parallel.stage1),
         phase("stage 2 (box alignment)", &serial.stage2, &parallel.stage2),
         phase("end-to-end recovery", &serial.total, &parallel.total),
+        phase("recover_warm: warm hit (10 Hz)", &warm_samples.0, &warm_samples.1),
+        phase("recover_warm: cold path (10 Hz)", &cold_samples.0, &cold_samples.1),
     ];
 
     let mut rows = vec![vec![

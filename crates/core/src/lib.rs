@@ -68,7 +68,8 @@ pub use config::{BbAlignConfig, BoxPairing, KeypointSource};
 pub use frame::PerceptionFrame;
 pub use pool::BoundedPool;
 pub use recover::{
-    AlignmentScorer, BbAlign, BoxAlignment, BvMatch, RecoverError, Recovery, Stage1Timing,
+    AlignmentCheck, AlignmentScorer, BbAlign, BoxAlignment, BvMatch, RecoverError, Recovery,
+    RecoveryPath, Stage1Timing, WarmRecovery,
 };
-pub use tracking::{PoseTracker, TrackerConfig};
+pub use tracking::{PoseTracker, TrackPrediction, TrackerConfig, TrackerConfigError};
 pub use wire::{decode_frame, encode_frame, DecodeError, WireReport};

@@ -4,13 +4,14 @@ use crate::config::BbAlignConfig;
 use crate::frame::{FrameBox, PerceptionFrame};
 use bba_bev::{BevConfig, BevImage};
 use bba_features::{
-    detect_keypoints, match_sets, ransac_rigid, ransac_rigid_guided, DescriptorSet, PatchSamples,
+    detect_keypoints, match_sets, ransac_rigid, ransac_rigid_hinted, DescriptorSet, PatchSamples,
     RansacError, RotationSweep,
 };
 use bba_geometry::{BevBox, Box3, Iso2, Iso3, Vec2, Vec3};
 use bba_obs::Recorder;
 use bba_signal::{FftWorkspace, LogGaborBank, MaxIndexMap};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -102,6 +103,58 @@ impl Recovery {
         self.box_alignment.as_ref().map_or(0, |b| b.inliers)
     }
 }
+
+/// Which path produced a [`WarmRecovery`] — see [`BbAlign::recover_warm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPath {
+    /// The tracker-predicted transform passed direct verification; stage 1
+    /// (MIM / detect / describe / match / RANSAC) was skipped entirely.
+    WarmStart,
+    /// A prediction existed but failed verification: the full cold
+    /// pipeline ran, with the prediction offered to stage-1 RANSAC as
+    /// hypothesis zero. Whenever that hint does not win outright, the
+    /// result is bit-identical to [`BbAlign::recover`].
+    ColdFallback,
+    /// No usable prediction: the plain cold pipeline ran, bit-identical
+    /// to [`BbAlign::recover`].
+    Cold,
+}
+
+/// A [`Recovery`] annotated with the path that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmRecovery {
+    /// The recovery result (same invariants as [`BbAlign::recover`]'s).
+    pub recovery: Recovery,
+    /// Which path produced it.
+    pub path: RecoveryPath,
+}
+
+/// Fixed seed for the stage-2 residual check inside warm verification: the
+/// check runs on its own RNG so the caller's stream is untouched and the
+/// cold fallback stays bit-identical to [`BbAlign::recover`].
+const WARM_VERIFY_SEED: u64 = 0xBBA1_16D0_57A2_7EED;
+
+/// Peak-sharpness factor for warm verification: the refined transform's
+/// alignment score must exceed every ±[`WARM_DECOY_OFFSET_M`] decoy score
+/// by this ratio. The absolute score a true transform can reach varies
+/// with scene density and raster resolution (≈0.40 on dense urban scenes,
+/// ≈0.55 on sparse ones — visibility asymmetry caps it), but a true pose
+/// is always a *sharp peak* of the score field (measured ≥1.2× its
+/// neighbours) while a stale or aliased pose sits on the plateau (≈1.0×),
+/// so the ratio separates where no absolute bar can.
+const WARM_SHARPNESS: f64 = 1.1;
+
+/// Minimum translation offset (m) of the four decoy transforms probed by
+/// the warm sharpness check. The effective offset is
+/// `max(WARM_DECOY_OFFSET_M, WARM_DECOY_OFFSET_CELLS × resolution)`: it
+/// must clear the scorer's one-cell dilation by the same margin at every
+/// raster, or coarse rasters would leave the decoys inside the true
+/// peak's own support and fail sharp poses.
+const WARM_DECOY_OFFSET_M: f64 = 3.0;
+
+/// Decoy offset in BEV cells (see [`WARM_DECOY_OFFSET_M`]): one cell of
+/// dilation plus three cells of clearance.
+const WARM_DECOY_OFFSET_CELLS: f64 = 4.0;
 
 /// Failure modes of the recovery pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -303,9 +356,23 @@ impl BbAlign {
         other: &PerceptionFrame,
         rng: &mut R,
     ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
+        self.match_bv_timed_hinted(ego, other, None, rng)
+    }
+
+    /// [`BbAlign::match_bv_timed`] with an optional pixel-space warm hint
+    /// offered to stage-1 RANSAC as hypothesis zero. With `None` this is
+    /// exactly the plain path (the hinted RANSAC entry consumes no RNG and
+    /// delegates verbatim when there is no hint).
+    fn match_bv_timed_hinted<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        hint_pix: Option<&Iso2>,
+        rng: &mut R,
+    ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
         let span = self.obs.span("stage1");
         let mut scratch = self.stage1_scratch.take(&self.obs);
-        let out = self.match_bv_inner(ego, other, rng, &mut scratch);
+        let out = self.match_bv_inner(ego, other, hint_pix, rng, &mut scratch);
         self.stage1_scratch.put(scratch, &self.obs);
         // Re-publish the phase breakdown (measured inside the inner run
         // regardless) as nested spans while the stage-1 span is still
@@ -337,6 +404,7 @@ impl BbAlign {
         &self,
         ego: &PerceptionFrame,
         other: &PerceptionFrame,
+        hint_pix: Option<&Iso2>,
         rng: &mut R,
         scratch: &mut Stage1Scratch,
     ) -> Result<(BvMatch, Stage1Timing), RecoverError> {
@@ -446,7 +514,7 @@ impl BbAlign {
             let t = Instant::now();
             let mut stop_sweep = false;
             for _ in 0..cfg.stage1_candidates.max(1) {
-                match ransac_rigid_guided(&src, &dst, Some(&qual), &cfg.ransac_bv, rng) {
+                match ransac_rigid_hinted(&src, &dst, Some(&qual), hint_pix, &cfg.ransac_bv, rng) {
                     Ok(result) => {
                         // Unambiguously strong consensus: clears the success
                         // threshold AND explains at least half the matches.
@@ -545,6 +613,16 @@ impl BbAlign {
         let origin_pix = bev.world_to_pixel_f(Vec2::ZERO);
         let moved = bev.pixel_to_world_f(t_pix.apply(origin_pix));
         Iso2::new(t_pix.yaw(), moved)
+    }
+
+    /// Inverse of [`BbAlign::pixel_to_world_transform`]: expresses a rigid
+    /// transform given in metres in continuous pixel coordinates, by
+    /// tracking the pixel origin's world point through the transform.
+    fn world_to_pixel_transform(&self, t_world: &Iso2) -> Iso2 {
+        let bev = &self.config.bev;
+        let origin_world = bev.pixel_to_world_f(Vec2::ZERO);
+        let moved = bev.world_to_pixel_f(t_world.apply(origin_world));
+        Iso2::new(t_world.yaw(), moved)
     }
 
     /// Stage 2: bounding-box corner alignment (Algorithm 1, lines 12–14).
@@ -674,10 +752,30 @@ impl BbAlign {
         other: &PerceptionFrame,
         rng: &mut R,
     ) -> Result<Recovery, RecoverError> {
+        self.recover_with_hint(ego, other, None, rng)
+    }
+
+    /// The cold pipeline, optionally seeding stage-1 RANSAC with a
+    /// world-frame warm hint as hypothesis zero. With `None` (or whenever
+    /// the hint does not win a RANSAC call outright) this is bit-identical
+    /// to the plain [`BbAlign::recover`]: same RNG consumption, same
+    /// result.
+    fn recover_with_hint<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        warm_hint: Option<&Iso2>,
+        rng: &mut R,
+    ) -> Result<Recovery, RecoverError> {
         let _span = self.obs.span("recover");
         self.obs.incr("recover.calls");
-        let bv = match self.match_bv(ego, other, rng) {
-            Ok(bv) => bv,
+        // The stage-1 sweep matches keypoints in pixel coordinates, so the
+        // hint is converted once here. Keypoint positions are unrotated
+        // across rotation hypotheses (only descriptor binning rotates), so
+        // one pixel-space hint is valid for every hypothesis.
+        let hint_pix = warm_hint.map(|t| self.world_to_pixel_transform(t));
+        let bv = match self.match_bv_timed_hinted(ego, other, hint_pix.as_ref(), rng) {
+            Ok((bv, _)) => bv,
             Err(e) => {
                 self.obs.incr("recover.failures");
                 return Err(e);
@@ -703,6 +801,137 @@ impl BbAlign {
             self.obs.incr("recover.success");
         }
         Ok(recovery)
+    }
+
+    /// Temporal warm start: recovery seeded by a tracker-predicted
+    /// transform (see `PoseTracker::warm_prediction`).
+    ///
+    /// With a usable prediction the engine first *verifies it directly* —
+    /// the [`AlignmentScorer`] coarse-to-fine occupancy screen against the
+    /// [`BbAlignConfig::warm_min_alignment`] floor, then the stage-2
+    /// box-alignment residual check, then the screen again on the refined
+    /// transform plus a peak-sharpness test (the refined pose must beat
+    /// four ±3 m decoy transforms — true poses are sharp maxima of the
+    /// score field, stale and aliased poses sit on its plateau). On pass,
+    /// the call returns a successful
+    /// [`RecoveryPath::WarmStart`] recovery having skipped MIM / detect /
+    /// describe / match / RANSAC entirely. On fail, the full cold pipeline
+    /// runs with the prediction offered to stage-1 RANSAC as hypothesis
+    /// zero ([`RecoveryPath::ColdFallback`]); without a prediction the
+    /// plain cold pipeline runs ([`RecoveryPath::Cold`]). Both fallbacks
+    /// are bit-identical to [`BbAlign::recover`] whenever the
+    /// hypothesis-zero hint does not win a RANSAC call outright — warm
+    /// verification runs on a fixed-seed internal RNG, so the caller's
+    /// stream reaches the cold path untouched.
+    ///
+    /// Every call increments exactly one of the `warmstart.hit` /
+    /// `warmstart.miss` counters (so their sum counts calls);
+    /// `warmstart.fallback` counts the subset of misses that had a
+    /// prediction.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BbAlign::recover`] (the warm path itself
+    /// never fails — it falls back).
+    pub fn recover_warm<R: Rng + ?Sized>(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        predicted: Option<&Iso2>,
+        rng: &mut R,
+    ) -> Result<WarmRecovery, RecoverError> {
+        let Some(predicted) = predicted else {
+            self.obs.incr("warmstart.miss");
+            let recovery = self.recover(ego, other, rng)?;
+            return Ok(WarmRecovery { recovery, path: RecoveryPath::Cold });
+        };
+        if ego.bev().config() == other.bev().config() {
+            let span = self.obs.span("warmstart.verify");
+            let verified = self.verify_predicted(ego, other, predicted);
+            drop(span);
+            if let Some(recovery) = verified {
+                self.obs.incr("warmstart.hit");
+                self.obs.gauge("warmstart.inliers_bv", recovery.bv.inliers as f64);
+                return Ok(WarmRecovery { recovery, path: RecoveryPath::WarmStart });
+            }
+        }
+        self.obs.incr("warmstart.miss");
+        self.obs.incr("warmstart.fallback");
+        let recovery = self.recover_with_hint(ego, other, Some(predicted), rng)?;
+        Ok(WarmRecovery { recovery, path: RecoveryPath::ColdFallback })
+    }
+
+    /// Direct verification of a predicted transform, without stage 1.
+    ///
+    /// Returns a fully-successful [`Recovery`] (it would pass
+    /// [`Recovery::is_success`]) or `None` when any check fails. The
+    /// stage-2 residual check runs on a fixed-seed RNG so the caller's
+    /// stream is preserved for the cold fallback.
+    fn verify_predicted(
+        &self,
+        ego: &PerceptionFrame,
+        other: &PerceptionFrame,
+        predicted: &Iso2,
+    ) -> Option<Recovery> {
+        let cfg = &self.config;
+        // A warm recovery must clear the same success criterion as a cold
+        // one, and Inliers_box > min requires stage 2.
+        if !cfg.box_alignment {
+            return None;
+        }
+        let scorer = AlignmentScorer::new(ego.bev());
+        let cells = scorer.collect_occupied(other.bev());
+        let check = scorer.score_cells_detail(&cells, predicted);
+        self.obs.gauge("warmstart.alignment", check.score);
+        // Absolute floor on the raw prediction: rules out hopeless
+        // predictions (a gross alias or a blown track scores well under
+        // this at every raster) before paying for box alignment.
+        if check.score < cfg.warm_min_alignment {
+            return None;
+        }
+        // Box-alignment residual check: the boxes must agree with (and
+        // refine) the prediction just as they would a stage-1 transform.
+        let mut verify_rng = StdRng::seed_from_u64(WARM_VERIFY_SEED);
+        let b = self.align_boxes(ego, other, predicted, &mut verify_rng)?;
+        if b.inliers <= cfg.min_inliers_box {
+            return None;
+        }
+        let transform = b.transform.compose(predicted);
+        let refined = scorer.score_cells_detail(&cells, &transform);
+        if refined.score < cfg.warm_min_alignment || refined.hits <= cfg.min_inliers_bv {
+            return None;
+        }
+        // Peak-sharpness gate: a true pose is a sharp local maximum of the
+        // alignment-score field, while stale tracks and aliases sit on the
+        // surrounding plateau. The refined transform must beat four
+        // translation decoys by [`WARM_SHARPNESS`]; the absolute score a
+        // true pose reaches is scene-dependent, the sharpness is not.
+        let off = WARM_DECOY_OFFSET_M.max(WARM_DECOY_OFFSET_CELLS * cfg.bev.resolution);
+        let sharp = [(off, 0.0), (-off, 0.0), (0.0, off), (0.0, -off)].iter().all(|&(dx, dy)| {
+            let decoy = Iso2::new(transform.yaw(), transform.translation() + Vec2::new(dx, dy));
+            scorer.score_cells_detail(&cells, &decoy).score * WARM_SHARPNESS < refined.score
+        });
+        if !sharp {
+            return None;
+        }
+        let bv = BvMatch {
+            transform: *predicted,
+            transform_pixels: self.world_to_pixel_transform(predicted),
+            // Warm recoveries carry cell-level consensus: the occupied
+            // cells the verified transform lands on the dilated ego mask.
+            inliers: refined.hits,
+            matches: 0,
+            keypoints: (0, 0),
+        };
+        let recovery = Recovery {
+            transform,
+            transform_3d: Iso3::from_iso2(&transform, 0.0),
+            bv,
+            box_alignment: Some(b),
+            thresholds: (cfg.min_inliers_bv, cfg.min_inliers_box),
+        };
+        debug_assert!(recovery.is_success());
+        Some(recovery)
     }
 }
 
@@ -753,6 +982,19 @@ const COARSE: usize = 4;
 pub struct OccupiedCells {
     xs: Vec<f64>,
     ys: Vec<f64>,
+}
+
+/// Outcome of one coarse-to-fine alignment screen
+/// ([`AlignmentScorer::score_cells_detail`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentCheck {
+    /// The alignment score: `hits / mapped`, or `0.0` below the 30-cell
+    /// co-visibility cutoff.
+    pub score: f64,
+    /// Occupied cells that mapped inside the ego raster.
+    pub mapped: usize,
+    /// Mapped cells landing on the dilated ego occupancy.
+    pub hits: usize,
 }
 
 impl OccupiedCells {
@@ -832,6 +1074,14 @@ impl AlignmentScorer {
     /// occupied-cell list with the transform's `sin_cos` hoisted out of the
     /// loop and the coarse mask screening each probe.
     pub fn score_cells(&self, cells: &OccupiedCells, transform: &Iso2) -> f64 {
+        self.score_cells_detail(cells, transform).score
+    }
+
+    /// [`AlignmentScorer::score_cells`] plus the raw mapped/hit counts —
+    /// the warm-start verifier reads the hit count as the recovery's
+    /// cell-level consensus. The score is computed by the exact same
+    /// operations, so it stays bit-identical to [`AlignmentScorer::score`].
+    pub fn score_cells_detail(&self, cells: &OccupiedCells, transform: &Iso2) -> AlignmentCheck {
         let bev = &self.bev;
         let h = self.size as isize;
         let (sin, cos) = transform.yaw().sin_cos();
@@ -855,11 +1105,10 @@ impl AlignmentScorer {
                 hits += 1;
             }
         }
-        if mapped < 30 {
-            // Too little co-visible content for the score to mean anything.
-            return 0.0;
-        }
-        hits as f64 / mapped as f64
+        // Below 30 mapped cells there is too little co-visible content for
+        // the score to mean anything.
+        let score = if mapped < 30 { 0.0 } else { hits as f64 / mapped as f64 };
+        AlignmentCheck { score, mapped, hits }
     }
 
     /// The fraction of the other image's occupied cells that land within
@@ -1064,6 +1313,96 @@ mod tests {
         let t_pix = bba_geometry::fit_rigid_2d(&[p0, p1], &[map(p0), map(p1)]).unwrap();
         let back = aligner.pixel_to_world_transform(&t_pix);
         assert!(back.approx_eq(&t_world, 1e-9, 1e-9), "{back} vs {t_world}");
+    }
+
+    #[test]
+    fn world_pixel_transform_roundtrip() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small());
+        for t in [
+            Iso2::IDENTITY,
+            Iso2::new(0.3, Vec2::new(2.0, -1.5)),
+            Iso2::new(-1.2, Vec2::new(-40.0, 17.5)),
+        ] {
+            let pix = aligner.world_to_pixel_transform(&t);
+            let back = aligner.pixel_to_world_transform(&pix);
+            assert!(back.approx_eq(&t, 1e-9, 1e-9), "{back} vs {t}");
+        }
+    }
+
+    #[test]
+    fn warm_start_verifies_a_good_prediction_without_stage1() {
+        let recorder = bba_obs::Recorder::enabled();
+        let aligner = BbAlign::new(BbAlignConfig::test_small()).with_recorder(recorder.clone());
+        let truth = Iso2::new(0.35, Vec2::new(6.0, -3.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let mut rng = StdRng::seed_from_u64(11);
+        let untouched = rng.clone();
+        let w = aligner.recover_warm(&ego, &other, Some(&truth), &mut rng).unwrap();
+        assert_eq!(w.path, RecoveryPath::WarmStart);
+        assert!(w.recovery.is_success(), "warm recoveries must clear the success criterion");
+        let (dt, dr) = w.recovery.transform.error_to(&truth);
+        assert!(dt < 0.8, "translation error {dt}");
+        assert!(dr < 0.06, "rotation error {dr}");
+        // Stage 1 never ran and the caller's RNG was never touched.
+        assert_eq!(w.recovery.bv.matches, 0);
+        assert_eq!(w.recovery.bv.keypoints, (0, 0));
+        assert_eq!(rng, untouched);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("warmstart.hit"), Some(1));
+        assert_eq!(snap.counter("warmstart.miss"), None);
+        assert_eq!(snap.counter("recover.calls"), None, "cold pipeline must not have run");
+    }
+
+    #[test]
+    fn warm_miss_falls_back_bit_identically_to_cold() {
+        let recorder = bba_obs::Recorder::enabled();
+        let aligner = BbAlign::new(BbAlignConfig::test_small()).with_recorder(recorder.clone());
+        let truth = Iso2::new(0.35, Vec2::new(6.0, -3.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        // A prediction mapping everything off-raster: the screen scores 0
+        // and the pixel-space hint can never win a RANSAC call.
+        let bad = Iso2::new(0.35, Vec2::new(400.0, 400.0));
+        let mut rng_warm = StdRng::seed_from_u64(21);
+        let mut rng_cold = StdRng::seed_from_u64(21);
+        let warm = aligner.recover_warm(&ego, &other, Some(&bad), &mut rng_warm).unwrap();
+        let cold = aligner.recover(&ego, &other, &mut rng_cold).unwrap();
+        assert_eq!(warm.path, RecoveryPath::ColdFallback);
+        assert_eq!(warm.recovery, cold, "fallback must be bit-identical to recover");
+        assert_eq!(warm.recovery.transform.yaw().to_bits(), cold.transform.yaw().to_bits());
+        assert_eq!(rng_warm, rng_cold, "fallback must consume the same RNG stream");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("warmstart.miss"), Some(1));
+        assert_eq!(snap.counter("warmstart.fallback"), Some(1));
+    }
+
+    #[test]
+    fn warm_without_prediction_is_plain_cold() {
+        let recorder = bba_obs::Recorder::enabled();
+        let aligner = BbAlign::new(BbAlignConfig::test_small()).with_recorder(recorder.clone());
+        let truth = Iso2::new(0.2, Vec2::new(3.0, 1.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let mut rng_warm = StdRng::seed_from_u64(31);
+        let mut rng_cold = StdRng::seed_from_u64(31);
+        let warm = aligner.recover_warm(&ego, &other, None, &mut rng_warm).unwrap();
+        let cold = aligner.recover(&ego, &other, &mut rng_cold).unwrap();
+        assert_eq!(warm.path, RecoveryPath::Cold);
+        assert_eq!(warm.recovery, cold);
+        assert_eq!(rng_warm, rng_cold);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("warmstart.miss"), Some(1));
+        assert_eq!(snap.counter("warmstart.fallback"), None);
+    }
+
+    #[test]
+    fn warm_start_requires_stage2_to_be_enabled() {
+        let aligner = BbAlign::new(BbAlignConfig::test_small().without_box_alignment());
+        let truth = Iso2::new(0.2, Vec2::new(3.0, 1.0));
+        let (ego, other) = frame_pair(&aligner, &truth);
+        let mut rng = StdRng::seed_from_u64(41);
+        let w = aligner.recover_warm(&ego, &other, Some(&truth), &mut rng).unwrap();
+        // Without stage 2 a warm recovery could never clear Inliers_box,
+        // so the warm path must decline and fall back.
+        assert_eq!(w.path, RecoveryPath::ColdFallback);
     }
 
     #[test]

@@ -100,6 +100,18 @@ impl DatasetConfig {
             start_time: 0.0,
         }
     }
+
+    /// Sets the time between frame pairs (builder style) — e.g.
+    /// `at_frame_interval(0.1)` for a 10 Hz stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite interval.
+    pub fn at_frame_interval(mut self, dt: f64) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "frame interval must be positive, got {dt}");
+        self.frame_interval = dt;
+        self
+    }
 }
 
 impl Default for DatasetConfig {

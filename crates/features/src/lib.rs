@@ -52,6 +52,7 @@ pub use descriptor::{
 pub use keypoints::{detect_keypoints, Keypoint, KeypointConfig};
 pub use matcher::{match_descriptors, match_sets, Match, MatcherConfig};
 pub use ransac::{
-    ransac_rigid, ransac_rigid_guided, ransac_rigid_naive, RansacConfig, RansacError, RansacResult,
+    ransac_rigid, ransac_rigid_guided, ransac_rigid_hinted, ransac_rigid_naive, RansacConfig,
+    RansacError, RansacResult,
 };
 pub use sweep::{DescriptorSet, PatchSamples, RotationSweep};

@@ -257,6 +257,51 @@ pub fn ransac_rigid<R: Rng + ?Sized>(
     ransac_rigid_guided(src, dst, None, config, rng)
 }
 
+/// [`ransac_rigid_guided`] with an optional externally-predicted transform
+/// evaluated as *hypothesis zero* before any sampling — the entry point of
+/// the temporal warm start's guided fallback.
+///
+/// The hint is scored with the exact consensus predicate **without
+/// consuming the RNG**. When its inlier count clears both `min_inliers`
+/// and the `early_exit_fraction` bar — i.e. when the reference serial scan
+/// would have stopped on it immediately had it been drawn first — the
+/// hint's consensus set is refit and returned with `iterations == 0`,
+/// skipping sampling entirely. Otherwise the hint is discarded and the
+/// call behaves **bit for bit** like [`ransac_rigid_guided`]: same RNG
+/// consumption, same result, same errors. Passing `hint: None` is exactly
+/// [`ransac_rigid_guided`].
+///
+/// # Errors
+///
+/// Returns [`RansacError`] on malformed input or when no model reaches
+/// `min_inliers`.
+pub fn ransac_rigid_hinted<R: Rng + ?Sized>(
+    src: &[Vec2],
+    dst: &[Vec2],
+    quality: Option<&[f64]>,
+    hint: Option<&Iso2>,
+    config: &RansacConfig,
+    rng: &mut R,
+) -> Result<RansacResult, RansacError> {
+    if src.len() != dst.len() {
+        return Err(RansacError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    let n = src.len();
+    if n < 2 {
+        return Err(RansacError::TooFewCorrespondences { got: n });
+    }
+    if let Some(h) = hint {
+        let thresh_sq = config.inlier_threshold * config.inlier_threshold;
+        let inliers: Vec<usize> =
+            (0..n).filter(|&k| (h.apply(src[k]) - dst[k]).norm_sq() <= thresh_sq).collect();
+        let exits = inliers.len() as f64 >= config.early_exit_fraction * n as f64;
+        if exits && inliers.len() >= config.min_inliers.max(2) {
+            return refit_and_expand(src, dst, inliers, 0, config, thresh_sq);
+        }
+    }
+    ransac_rigid_guided(src, dst, quality, config, rng)
+}
+
 /// How many of the best-quality distinct samples are fully pre-scored to
 /// seed the bail bound before the scan starts (the PROSAC-style layer).
 const PREVIEW_SAMPLES: usize = 16;
@@ -583,6 +628,100 @@ mod tests {
         let r = ransac_rigid(&src, &dst, &RansacConfig::default(), &mut rng).unwrap();
         assert!(r.transform.approx_eq(&truth(), 1e-9, 1e-9));
         assert_eq!(r.num_inliers, 25);
+    }
+
+    #[test]
+    fn hinted_without_hint_is_guided_bitwise_including_rng_stream() {
+        let (src, mut dst) = clean_pairs(40);
+        for k in 0..12 {
+            dst[3 * k] = Vec2::new(900.0 + k as f64 * 11.0, -700.0);
+        }
+        let qual: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let cfg = RansacConfig::default();
+        for seed in [0u64, 7, 91] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let a = ransac_rigid_hinted(&src, &dst, Some(&qual), None, &cfg, &mut rng_a);
+            let b = ransac_rigid_guided(&src, &dst, Some(&qual), &cfg, &mut rng_b);
+            assert_eq!(a, b);
+            assert_eq!(rng_a.random_range(0..u32::MAX), rng_b.random_range(0..u32::MAX));
+        }
+    }
+
+    #[test]
+    fn losing_hint_falls_back_bit_identically() {
+        let (src, mut dst) = clean_pairs(40);
+        for k in 0..12 {
+            dst[3 * k] = Vec2::new(900.0 + k as f64 * 11.0, -700.0);
+        }
+        // A hint nowhere near the data: zero inliers, must be discarded.
+        let bad = Iso2::new(2.0, Vec2::new(400.0, 400.0));
+        let cfg = RansacConfig::default();
+        for seed in [1u64, 42] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let a = ransac_rigid_hinted(&src, &dst, None, Some(&bad), &cfg, &mut rng_a);
+            let b = ransac_rigid_guided(&src, &dst, None, &cfg, &mut rng_b);
+            assert_eq!(a, b);
+            assert_eq!(rng_a.random_range(0..u32::MAX), rng_b.random_range(0..u32::MAX));
+        }
+    }
+
+    #[test]
+    fn winning_hint_skips_sampling_and_consumes_no_rng() {
+        let (src, dst) = clean_pairs(30);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut untouched = rng.clone();
+        let r = ransac_rigid_hinted(
+            &src,
+            &dst,
+            None,
+            Some(&truth()),
+            &RansacConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(r.iterations, 0, "a winning hint reports zero sampling iterations");
+        assert_eq!(r.num_inliers, 30);
+        assert!(r.transform.approx_eq(&truth(), 1e-9, 1e-9));
+        // The caller's RNG stream was never touched.
+        assert_eq!(
+            rng.random_range(0..u32::MAX),
+            untouched.random_range(0..u32::MAX),
+            "winning hint must not consume the RNG"
+        );
+    }
+
+    #[test]
+    fn hint_that_misses_the_exit_bar_is_discarded() {
+        // The hint covers 20/40 points exactly, but early_exit_fraction
+        // demands 70%: the serial scan would not have stopped on it, so the
+        // fallback must run (and, with half the data clean, still win).
+        let (src, mut dst) = clean_pairs(40);
+        for k in 0..20 {
+            dst[2 * k] = Vec2::new(1000.0 + k as f64 * 17.0, -500.0 - k as f64 * 3.0);
+        }
+        let cfg = RansacConfig::default();
+        assert!(cfg.early_exit_fraction > 0.5);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let a = ransac_rigid_hinted(&src, &dst, None, Some(&truth()), &cfg, &mut rng_a);
+        let b = ransac_rigid_guided(&src, &dst, None, &cfg, &mut rng_b);
+        assert_eq!(a, b);
+        assert_eq!(rng_a.random_range(0..u32::MAX), rng_b.random_range(0..u32::MAX));
+    }
+
+    #[test]
+    fn hinted_validation_errors_precede_hint_use() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = RansacConfig::default();
+        let e = ransac_rigid_hinted(&[Vec2::ZERO], &[], None, Some(&truth()), &cfg, &mut rng)
+            .unwrap_err();
+        assert_eq!(e, RansacError::LengthMismatch { src: 1, dst: 0 });
+        let e =
+            ransac_rigid_hinted(&[Vec2::ZERO], &[Vec2::ZERO], None, Some(&truth()), &cfg, &mut rng)
+                .unwrap_err();
+        assert_eq!(e, RansacError::TooFewCorrespondences { got: 1 });
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::session::{AdmitOutcome, FrameSubmission, PairId, SessionConfig, SessionStats};
 use crate::shard::ShardMap;
-use bb_align::{BbAlign, RecoverError, Recovery};
+use bb_align::{BbAlign, RecoverError, Recovery, RecoveryPath, TrackerConfig};
 use bba_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +41,15 @@ pub struct ServiceConfig {
     pub max_batch_per_session: usize,
     /// Seed mixed into every work item's RNG.
     pub seed: u64,
+    /// Maintain a per-pair pose tracker and try the temporal warm start
+    /// ([`BbAlign::recover_warm`]) before the cold pipeline. Predictions
+    /// are read before the batch fans out and tracker updates are applied
+    /// after it completes, in `(pair, seq)` order, so batches stay
+    /// bit-identical at any thread count.
+    pub warm_start: bool,
+    /// Tracker tuning for the per-pair warm-start trackers (ignored when
+    /// `warm_start` is off).
+    pub tracker: TrackerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +59,8 @@ impl Default for ServiceConfig {
             shards: 16,
             max_batch_per_session: 1,
             seed: 0,
+            warm_start: true,
+            tracker: TrackerConfig::default(),
         }
     }
 }
@@ -66,6 +77,9 @@ pub struct RecoveryOutcome {
     /// Wall-clock recovery latency (ms) — diagnostics only, never fed
     /// back into results.
     pub latency_ms: f64,
+    /// Which route produced the result: verified warm start, cold
+    /// fallback seeded by a losing prediction, or plain cold recovery.
+    pub path: RecoveryPath,
     /// The recovery, or why it failed.
     pub result: Result<Recovery, RecoverError>,
 }
@@ -129,7 +143,11 @@ impl PoseService {
     /// Creates a service around a shared engine.
     pub fn new(engine: Arc<BbAlign>, config: ServiceConfig) -> Self {
         PoseService {
-            shards: ShardMap::new(config.shards, config.session),
+            shards: ShardMap::new(
+                config.shards,
+                config.session,
+                config.warm_start.then_some(config.tracker),
+            ),
             engine,
             config,
             obs: Recorder::disabled(),
@@ -182,28 +200,80 @@ impl PoseService {
     /// Returns outcomes sorted by `(pair, seq)`; results are
     /// deterministic for a given `(service seed, pair, seq)` regardless
     /// of thread count or arrival order.
+    ///
+    /// With [`ServiceConfig::warm_start`] on, each work item first tries
+    /// its session tracker's prediction via [`BbAlign::recover_warm`].
+    /// Predictions are snapshotted *before* the parallel fan-out (they are
+    /// a function of previous batches only) and tracker updates are
+    /// applied *after* it, serially in `(pair, seq)` order, so the warm
+    /// path preserves the thread-count determinism contract.
     pub fn process_batch(&self, now: f64) -> Vec<RecoveryOutcome> {
         let batch = self.shards.drain_all(now, self.config.max_batch_per_session);
+        let predictions: Vec<_> = if self.config.warm_start {
+            batch
+                .iter()
+                .map(|(pair, frame)| {
+                    self.shards.with_session(*pair, |s| s.warm_prediction(frame.timestamp))
+                })
+                .collect()
+        } else {
+            vec![None; batch.len()]
+        };
         let seed = self.config.seed;
         let engine = &self.engine;
-        let outcomes: Vec<RecoveryOutcome> = bba_par::par_map(&batch, |(pair, frame)| {
+        let warm = self.config.warm_start;
+        let items: Vec<_> = batch.iter().zip(&predictions).collect();
+        let outcomes: Vec<RecoveryOutcome> = bba_par::par_map(&items, |((pair, frame), hint)| {
             let mut rng = StdRng::seed_from_u64(item_seed(seed, *pair, frame.seq));
             let start = Instant::now();
-            let result = engine.recover(&frame.ego, &frame.other, &mut rng);
+            let (path, result) = if warm {
+                match engine.recover_warm(&frame.ego, &frame.other, hint.as_ref(), &mut rng) {
+                    Ok(w) => (w.path, Ok(w.recovery)),
+                    Err(e) => (
+                        if hint.is_some() {
+                            RecoveryPath::ColdFallback
+                        } else {
+                            RecoveryPath::Cold
+                        },
+                        Err(e),
+                    ),
+                }
+            } else {
+                (RecoveryPath::Cold, engine.recover(&frame.ego, &frame.other, &mut rng))
+            };
             RecoveryOutcome {
                 pair: *pair,
                 seq: frame.seq,
                 timestamp: frame.timestamp,
                 latency_ms: start.elapsed().as_secs_f64() * 1e3,
+                path,
                 result,
             }
         });
+        // Tracker updates happen on the coordinating thread, in batch
+        // (pair, seq) order: a deterministic function of deterministic
+        // outcomes, whatever the thread count was above.
+        if warm {
+            for outcome in &outcomes {
+                if let Ok(recovery) = &outcome.result {
+                    self.shards.with_session(outcome.pair, |s| {
+                        s.observe_recovery(outcome.timestamp, recovery)
+                    });
+                }
+            }
+        }
         // Metrics are recorded from the coordinating thread, in batch
         // order, so snapshots are reproducible modulo the timings
         // themselves.
         self.obs.add("serve.processed", outcomes.len() as u64);
         for outcome in &outcomes {
             self.obs.observe("serve.recovery_ms", outcome.latency_ms);
+            match outcome.path {
+                RecoveryPath::WarmStart => {
+                    self.obs.observe("serve.recovery_warm_ms", outcome.latency_ms)
+                }
+                _ => self.obs.observe("serve.recovery_cold_ms", outcome.latency_ms),
+            }
             match &outcome.result {
                 Ok(_) => self.obs.incr("serve.recovered"),
                 Err(_) => self.obs.incr("serve.failed"),
@@ -246,7 +316,13 @@ mod tests {
         let engine = Arc::new(BbAlign::new(BbAlignConfig::test_small()));
         PoseService::new(
             engine,
-            ServiceConfig { session, shards: 4, max_batch_per_session: 2, seed: 7 },
+            ServiceConfig {
+                session,
+                shards: 4,
+                max_batch_per_session: 2,
+                seed: 7,
+                ..Default::default()
+            },
         )
         .with_recorder(Recorder::enabled())
     }
@@ -330,6 +406,22 @@ mod tests {
         assert!(hist.p99().is_some());
         assert_eq!(metrics.counter("serve.processed"), Some(1));
         assert_eq!(metrics.gauge("serve.sessions"), Some(1.0));
+    }
+
+    #[test]
+    fn untrained_sessions_take_the_plain_cold_path() {
+        // warm_start defaults on, but a session whose tracker never saw a
+        // successful recovery has no prediction: every item must be plain
+        // Cold (not ColdFallback) and the cold histogram must carry it.
+        let svc = service(SessionConfig::default());
+        let frame = empty_frame(&svc);
+        svc.submit(PairId::new(0, 1), submission(&frame, 0, 0.0), 0.0);
+        let outcomes = svc.process_batch(0.0);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].path, bb_align::RecoveryPath::Cold);
+        let metrics = svc.obs.snapshot();
+        assert_eq!(metrics.value("serve.recovery_cold_ms").map(|h| h.count), Some(1));
+        assert!(metrics.value("serve.recovery_warm_ms").is_none());
     }
 
     #[test]

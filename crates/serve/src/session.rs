@@ -30,7 +30,8 @@
 //! the drain-time clock: frames that aged out while queued are shed as
 //! stale rather than processed.
 
-use bb_align::PerceptionFrame;
+use bb_align::{PerceptionFrame, PoseTracker, Recovery, TrackerConfig};
+use bba_geometry::Iso2;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -143,10 +144,13 @@ pub struct PairSession {
     /// Newest sequence number ever admitted (duplicate/superseded gate).
     newest_seq: Option<u64>,
     stats: SessionStats,
+    /// Temporal warm-start tracker, fed by successful recoveries for this
+    /// pair; `None` when warm starts are disabled service-wide.
+    tracker: Option<PoseTracker>,
 }
 
 impl PairSession {
-    /// An empty session.
+    /// An empty session without a warm-start tracker.
     pub fn new(config: SessionConfig) -> Self {
         config.validate();
         PairSession {
@@ -154,6 +158,30 @@ impl PairSession {
             queue: VecDeque::new(),
             newest_seq: None,
             stats: SessionStats::default(),
+            tracker: None,
+        }
+    }
+
+    /// An empty session carrying a per-pair warm-start tracker.
+    pub fn with_tracker(config: SessionConfig, tracker: TrackerConfig) -> Self {
+        PairSession { tracker: Some(PoseTracker::new(tracker)), ..Self::new(config) }
+    }
+
+    /// The tracker's confidence-gated pose prediction at `time`, if the
+    /// session tracks poses and the track is still trustworthy.
+    pub fn warm_prediction(&self, time: f64) -> Option<Iso2> {
+        self.tracker.as_ref().and_then(|t| t.warm_prediction(time))
+    }
+
+    /// Feeds a completed recovery into the session's tracker. Only
+    /// recoveries clearing the paper's success criterion train the track:
+    /// a failed recovery must never teach the warm path a pose it would
+    /// then re-verify against itself.
+    pub fn observe_recovery(&mut self, time: f64, recovery: &Recovery) {
+        if let Some(tracker) = &mut self.tracker {
+            if recovery.is_success() {
+                tracker.update(time, recovery);
+            }
         }
     }
 

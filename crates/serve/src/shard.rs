@@ -12,6 +12,7 @@
 //! the small dense id spaces fleets produce.
 
 use crate::session::{FrameSubmission, PairId, PairSession, SessionConfig};
+use bb_align::TrackerConfig;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -20,6 +21,7 @@ use std::sync::Mutex;
 pub struct ShardMap {
     shards: Vec<Mutex<HashMap<PairId, PairSession>>>,
     session_config: SessionConfig,
+    tracker_config: Option<TrackerConfig>,
 }
 
 /// FNV-1a over the pair's id bytes; stable across runs and platforms.
@@ -34,13 +36,22 @@ fn shard_hash(pair: PairId) -> u64 {
 
 impl ShardMap {
     /// Creates `shards` empty shards (at least 1) sharing one session
-    /// config for newly created sessions.
-    pub fn new(shards: usize, session_config: SessionConfig) -> Self {
+    /// config — and, when `tracker_config` is set, one warm-start tracker
+    /// config — for newly created sessions.
+    pub fn new(
+        shards: usize,
+        session_config: SessionConfig,
+        tracker_config: Option<TrackerConfig>,
+    ) -> Self {
         session_config.validate();
+        if let Some(t) = &tracker_config {
+            t.validate().expect("tracker config");
+        }
         let shards = shards.max(1);
         ShardMap {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             session_config,
+            tracker_config,
         }
     }
 
@@ -59,7 +70,10 @@ impl ShardMap {
     pub fn with_session<R>(&self, pair: PairId, f: impl FnOnce(&mut PairSession) -> R) -> R {
         let shard = &self.shards[self.shard_of(pair)];
         let mut map = shard.lock().expect("shard lock");
-        let session = map.entry(pair).or_insert_with(|| PairSession::new(self.session_config));
+        let session = map.entry(pair).or_insert_with(|| match self.tracker_config {
+            Some(tracker) => PairSession::with_tracker(self.session_config, tracker),
+            None => PairSession::new(self.session_config),
+        });
         f(session)
     }
 
@@ -117,7 +131,7 @@ mod tests {
 
     #[test]
     fn pairs_spread_over_shards() {
-        let shards = ShardMap::new(8, SessionConfig::default());
+        let shards = ShardMap::new(8, SessionConfig::default(), None);
         let mut seen = std::collections::HashSet::new();
         for receiver in 0..8u32 {
             for sender in 0..8u32 {
@@ -131,8 +145,8 @@ mod tests {
 
     #[test]
     fn shard_assignment_is_stable() {
-        let a = ShardMap::new(16, SessionConfig::default());
-        let b = ShardMap::new(16, SessionConfig::default());
+        let a = ShardMap::new(16, SessionConfig::default(), None);
+        let b = ShardMap::new(16, SessionConfig::default(), None);
         for receiver in 0..10u32 {
             for sender in 0..10u32 {
                 let pair = PairId::new(receiver, sender);
@@ -143,7 +157,7 @@ mod tests {
 
     #[test]
     fn sessions_are_created_on_first_touch() {
-        let shards = ShardMap::new(4, SessionConfig::default());
+        let shards = ShardMap::new(4, SessionConfig::default(), None);
         assert_eq!(shards.session_count(), 0);
         shards.with_session(PairId::new(0, 1), |_| ());
         shards.with_session(PairId::new(0, 1), |_| ());
@@ -153,7 +167,7 @@ mod tests {
 
     #[test]
     fn at_least_one_shard_even_when_asked_for_zero() {
-        let shards = ShardMap::new(0, SessionConfig::default());
+        let shards = ShardMap::new(0, SessionConfig::default(), None);
         assert_eq!(shards.shard_count(), 1);
         shards.with_session(PairId::new(3, 4), |_| ());
         assert_eq!(shards.session_count(), 1);

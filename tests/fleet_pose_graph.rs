@@ -160,6 +160,7 @@ fn service_multiplexes_64_sessions_without_blocking_and_accounts_for_all_sheds()
             shards: 8,
             max_batch_per_session: 1,
             seed: 3,
+            ..Default::default()
         },
     )
     .with_recorder(obs.clone());
