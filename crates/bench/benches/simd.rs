@@ -1,0 +1,146 @@
+//! Micro-benchmarks of the `bba-simd` kernel layer: each dispatched kernel
+//! (AVX2 on capable hosts, chunked scalar otherwise) against its portable
+//! scalar reference, on hot-path-shaped workloads:
+//!
+//! * **filter apply** — the Log-Gabor frequency-domain complex pointwise
+//!   multiply, at the production 256² BV spectrum size.
+//! * **fused amp + argmax** — the final-scale-pair amplitude completion and
+//!   running `(max_amp, max_idx)` fold of the fused MIM reduction.
+//! * **soft-bin accumulate** — the LUT-driven descriptor re-bin gather
+//!   (`rebin_row`) over a realistic gated-sample count.
+//! * **dot microkernel** — the matcher's four-lane blocked `f32` dot at the
+//!   production descriptor dimension.
+//!
+//! Every pair is proven bit-identical by the proptests in
+//! `crates/simd/tests/equivalence.rs`; this bench measures the speed side.
+//! Pass `--quick` for the CI smoke run (fewer iterations, same workloads).
+
+use bba_simd::SoftBinLut;
+use criterion::{black_box, Criterion};
+
+/// Deterministic pseudo-random stream in `[-1, 1)` — no RNG dependency, and
+/// every run (and both kernels of a pair) sees identical data.
+fn lcg(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "simd kernel benches: dispatch = {}{}",
+        bba_simd::name(),
+        if quick { " (quick)" } else { "" }
+    );
+    let mut c = Criterion::default().sample_size(if quick { 10 } else { 60 });
+
+    let mut s = 0x5EED_u64;
+    let px = 256 * 256; // production BV image size
+    let n = 2 * px; // interleaved complexes
+
+    // Filter apply: spectrum × packed filter pair.
+    let spec: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
+    let filt: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
+    let mut dst = vec![0.0f64; n];
+    c.bench_function("simd_filter_apply_cmul_256", |b| {
+        b.iter(|| bba_simd::cmul(black_box(&mut dst), &spec, &filt))
+    });
+    c.bench_function("simd_filter_apply_cmul_256_portable", |b| {
+        b.iter(|| bba_simd::portable::cmul(black_box(&mut dst), &spec, &filt))
+    });
+
+    // Fused amplitude + running argmax: the final scale pair of one
+    // orientation folding into the lane maxima, with a partial sum.
+    let z: Vec<f64> = (0..n).map(|_| lcg(&mut s)).collect();
+    let partial: Vec<f64> = (0..px).map(|_| lcg(&mut s).abs()).collect();
+    let mut max_amp = vec![f64::NEG_INFINITY; px];
+    let mut max_idx = vec![0u8; px];
+    let scale = 1.0 / px as f64;
+    c.bench_function("simd_fused_amp_argmax_256", |b| {
+        b.iter(|| {
+            bba_simd::amp_max_fold(
+                black_box(&mut max_amp),
+                &mut max_idx,
+                &z,
+                scale,
+                true,
+                Some(&partial),
+                3,
+            )
+        })
+    });
+    c.bench_function("simd_fused_amp_argmax_256_portable", |b| {
+        b.iter(|| {
+            bba_simd::portable::amp_max_fold(
+                black_box(&mut max_amp),
+                &mut max_idx,
+                &z,
+                scale,
+                true,
+                Some(&partial),
+                3,
+            )
+        })
+    });
+
+    // Soft-bin accumulate: one descriptor row re-binned from a realistic
+    // gated-sample count (production patches carry a few thousand samples).
+    let n_o = 12usize;
+    let grid = 6usize;
+    let dim = grid * grid * n_o;
+    let n_samples = 4096usize;
+    let window = 69usize; // patch 48 → reach 34 → window 69
+    let n_cells = window * window;
+    let mut lut = SoftBinLut::new();
+    let bin_shift = 2.37f64;
+    for raw in 0..n_o {
+        let shifted = (raw as f64 - bin_shift).rem_euclid(n_o as f64);
+        let lo = (shifted.floor() as usize) % n_o;
+        lut.push(lo, (lo + 1) % n_o, shifted - shifted.floor());
+    }
+    let cell_table: Vec<u8> = (0..n_cells)
+        .map(|i| if i % 7 == 0 { u8::MAX } else { ((i * 13) % (grid * grid)) as u8 })
+        .collect();
+    let weights: Vec<f64> = (0..n_samples).map(|_| lcg(&mut s).abs()).collect();
+    let offsets: Vec<u32> = (0..n_samples).map(|i| ((i * 29) % n_cells) as u32).collect();
+    let indices: Vec<u8> = (0..n_samples).map(|i| ((i * 5) % n_o) as u8).collect();
+    let mut row = vec![0.0f32; dim];
+    c.bench_function("simd_soft_bin_rebin_4096", |b| {
+        b.iter(|| {
+            bba_simd::rebin_row(
+                black_box(&mut row),
+                &weights,
+                &offsets,
+                &indices,
+                &cell_table,
+                u8::MAX,
+                n_o,
+                &lut,
+            )
+        })
+    });
+    c.bench_function("simd_soft_bin_rebin_4096_portable", |b| {
+        b.iter(|| {
+            bba_simd::portable::rebin_row(
+                black_box(&mut row),
+                &weights,
+                &offsets,
+                &indices,
+                &cell_table,
+                u8::MAX,
+                n_o,
+                &lut,
+            )
+        })
+    });
+
+    // Dot microkernel at the production descriptor dimension.
+    let a: Vec<f32> = (0..dim).map(|_| lcg(&mut s) as f32).collect();
+    let bvec: Vec<f32> = (0..dim).map(|_| lcg(&mut s) as f32).collect();
+    c.bench_function("simd_dot_432", |b| {
+        b.iter(|| black_box(bba_simd::dot_f32(black_box(&a), black_box(&bvec))))
+    });
+    c.bench_function("simd_dot_432_portable", |b| {
+        b.iter(|| black_box(bba_simd::portable::dot_f32(black_box(&a), black_box(&bvec))))
+    });
+}

@@ -207,7 +207,11 @@ fn main() {
         "phase".to_string(),
         "median ms (1 thr)".to_string(),
         "p90 ms (1 thr)".to_string(),
-        format!("median ms ({threads} thr)"),
+        // Fixed label, mirroring the JSON writer's "median_nthr_ms": an
+        // interpolated thread count collides with the 1-thread column on
+        // single-core hosts; the banner and the JSON "threads" field
+        // record the actual N.
+        "median ms (N thr)".to_string(),
         "speedup".to_string(),
     ]];
     for p in &phases {

@@ -1,11 +1,14 @@
 //! Aligned plain-text tables for experiment output.
 
-/// Prints a header banner for an experiment.
+/// Prints a header banner for an experiment, including the active SIMD
+/// kernel dispatch — perf numbers from an `avx2` host and a `portable`
+/// fallback host are not comparable, so every artifact names its path.
 pub fn banner(title: &str, detail: &str) {
     println!("\n=== {title} ===");
     if !detail.is_empty() {
         println!("{detail}");
     }
+    println!("simd dispatch: {}", bba_simd::name());
     println!();
 }
 

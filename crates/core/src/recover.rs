@@ -278,6 +278,16 @@ impl BbAlign {
     /// algorithm, so results are bit-identical either way.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.obs = recorder;
+        // Pin the active SIMD dispatch into every metrics snapshot (1 =
+        // AVX2, 0 = portable) so perf artifacts recorded on different
+        // hosts stay comparable.
+        self.obs.gauge(
+            "simd.dispatch_avx2",
+            match bba_simd::active() {
+                bba_simd::Dispatch::Avx2 => 1.0,
+                bba_simd::Dispatch::Portable => 0.0,
+            },
+        );
         self
     }
 

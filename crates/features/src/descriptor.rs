@@ -154,6 +154,20 @@ pub(crate) fn sample_weight(amp: f64, weighting: SampleWeighting) -> f64 {
     }
 }
 
+/// The split of one raw orientation index under a continuous `bin_shift`:
+/// `(lo, hi, frac)`, with weight fraction `1 − frac` going to bin `lo` and
+/// `frac` to bin `hi`. Factored out of [`soft_bin`] so the sweep's
+/// per-hypothesis lookup table ([`bba_simd::SoftBinLut`]) is built from the
+/// exact arithmetic applied per sample — the LUT-driven re-bin kernel is
+/// then bit-identical to the naive path by construction.
+pub(crate) fn soft_bin_split(raw_index: u8, bin_shift: f64, n_o: usize) -> (usize, usize, f64) {
+    let shifted = (raw_index as f64 - bin_shift).rem_euclid(n_o as f64);
+    let lo = (shifted.floor() as usize) % n_o;
+    let hi = (lo + 1) % n_o;
+    let frac = shifted - shifted.floor();
+    (lo, hi, frac)
+}
+
 /// Soft-bins one sample: the orientation index is shifted by the continuous
 /// `bin_shift` and the weight split linearly between the two adjacent bins —
 /// hard binning would reintroduce the quantisation the continuous dominant-
@@ -166,10 +180,7 @@ pub(crate) fn soft_bin(
     n_o: usize,
     weight: f64,
 ) {
-    let shifted = (raw_index as f64 - bin_shift).rem_euclid(n_o as f64);
-    let lo = (shifted.floor() as usize) % n_o;
-    let hi = (lo + 1) % n_o;
-    let frac = shifted - shifted.floor();
+    let (lo, hi, frac) = soft_bin_split(raw_index, bin_shift, n_o);
     vector[cell_base + lo] += (weight * (1.0 - frac)) as f32;
     vector[cell_base + hi] += (weight * frac) as f32;
 }

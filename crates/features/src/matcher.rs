@@ -75,26 +75,14 @@ fn pool_block_rows(dim: usize) -> usize {
     (32 * 1024 / (dim.max(1) * std::mem::size_of::<f32>())).clamp(4, 64)
 }
 
-/// Four-lane unrolled dot product. Both the blocked kernel and the naive
-/// reference call this exact function, so their dot products — and hence
-/// candidate rankings — agree bit-for-bit.
+/// Four-lane blocked dot product ([`bba_simd::dot_f32`]). Both the blocked
+/// kernel and the naive reference call this exact function, so their dot
+/// products — and hence candidate rankings — agree bit-for-bit; the SIMD
+/// path keeps the same four-lane accumulator blocking, so vectorisation
+/// does not move bits either.
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let n4 = a.len() & !3;
-    let (a4, ar) = a.split_at(n4);
-    let (b4, br) = b.split_at(n4);
-    let mut acc = [0.0f32; 4];
-    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for (x, y) in ar.iter().zip(br) {
-        s += x * y;
-    }
-    s
+    bba_simd::dot_f32(a, b)
 }
 
 /// Distance from a dot product of unit vectors: `√(2 − 2·⟨a,b⟩)`, clamped

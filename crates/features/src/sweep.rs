@@ -32,11 +32,12 @@
 //! matcher kernel ([`crate::matcher::match_sets`]) runs on.
 
 use crate::descriptor::{
-    bin_shift_of, grid_cell, l2_normalize, patch_reach, patch_stats, sample_weight, soft_bin,
+    bin_shift_of, grid_cell, l2_normalize, patch_reach, patch_stats, sample_weight, soft_bin_split,
     Descriptor, DescriptorConfig,
 };
 use crate::keypoints::Keypoint;
 use bba_signal::MaxIndexMap;
+use bba_simd::SoftBinLut;
 
 /// Sentinel in the [`RotationSweep`] offset→cell tables for window offsets
 /// that fall outside the rotated patch square.
@@ -146,7 +147,12 @@ impl DescriptorSet {
 #[derive(Debug, Clone)]
 pub struct RotationSweep {
     angles: Vec<f64>,
-    bin_shifts: Vec<f64>,
+    /// Per hypothesis, the soft-bin split of every raw orientation index
+    /// under that hypothesis's shift — built with the exact `soft_bin`
+    /// arithmetic ([`soft_bin_split`]), so the LUT-driven re-bin kernel
+    /// reproduces the naive path bit for bit while replacing the per-sample
+    /// `rem_euclid`/`floor` with a gather.
+    luts: Vec<SoftBinLut>,
     /// `angles.len()` consecutive tables of `window²` cells each;
     /// `OUT_OF_PATCH` marks offsets outside the rotated square.
     cells: Vec<u8>,
@@ -173,9 +179,15 @@ impl RotationSweep {
         let window = (2 * reach + 1) as usize;
 
         let mut cells = vec![OUT_OF_PATCH; angles.len() * window * window];
-        let mut bin_shifts = Vec::with_capacity(angles.len());
+        let mut luts = Vec::with_capacity(angles.len());
         for (k, &angle) in angles.iter().enumerate() {
-            bin_shifts.push(bin_shift_of(angle, num_orientations));
+            let bin_shift = bin_shift_of(angle, num_orientations);
+            let mut lut = SoftBinLut::new();
+            for raw in 0..num_orientations {
+                let (lo, hi, frac) = soft_bin_split(raw as u8, bin_shift, num_orientations);
+                lut.push(lo, hi, frac);
+            }
+            luts.push(lut);
             let (rs, rc) = angle.sin_cos();
             let table = &mut cells[k * window * window..(k + 1) * window * window];
             for dv in -reach..=reach {
@@ -188,7 +200,7 @@ impl RotationSweep {
         }
         RotationSweep {
             angles: angles.to_vec(),
-            bin_shifts,
+            luts,
             cells,
             window,
             patch_size: j,
@@ -218,8 +230,10 @@ impl RotationSweep {
     }
 }
 
-/// One cached MIM sample of a patch: histogram weight, position inside the
-/// reach window (row-major offset), and raw MIM orientation index.
+/// One cached MIM sample of a patch during extraction: histogram weight,
+/// position inside the reach window (row-major offset), and raw MIM
+/// orientation index. Storage is structure-of-arrays ([`PatchSamples`]); the
+/// tuple form only exists per worker during the sample pass.
 ///
 /// The weight is kept at `f64` deliberately: the naive path computes the
 /// weight in `f64` and converts to `f32` only after the soft-bin split, so
@@ -235,15 +249,24 @@ struct PatchSample {
 /// needs to describe the keypoints at *any* rotation, extracted with
 /// exactly one MIM read per pixel.
 ///
+/// Samples are stored as parallel arrays (`weights`/`offsets`/`indices`) so
+/// the re-bin kernel ([`bba_simd::rebin_row`]) streams each field with
+/// contiguous vector loads instead of strided struct fields.
+///
 /// Reusable scratch: [`PatchSamples::sample`] clears and refills, keeping
 /// allocations, so `BbAlign` pools these alongside its FFT workspaces.
 #[derive(Debug, Clone, Default)]
 pub struct PatchSamples {
     /// Keypoints that survived the border check, in input order.
     keypoints: Vec<Keypoint>,
-    /// Per surviving keypoint: `[start, end)` range into `samples`.
+    /// Per surviving keypoint: `[start, end)` range into the sample arrays.
     spans: Vec<(u32, u32)>,
-    samples: Vec<PatchSample>,
+    /// Histogram weight per sample.
+    weights: Vec<f64>,
+    /// Row-major reach-window offset per sample.
+    offsets: Vec<u32>,
+    /// Raw MIM orientation index per sample.
+    indices: Vec<u8>,
     patch_size: usize,
     grid_size: usize,
     num_orientations: usize,
@@ -275,7 +298,9 @@ impl PatchSamples {
     pub fn sample(&mut self, mim: &MaxIndexMap, keypoints: &[Keypoint], config: &DescriptorConfig) {
         self.keypoints.clear();
         self.spans.clear();
-        self.samples.clear();
+        self.weights.clear();
+        self.offsets.clear();
+        self.indices.clear();
         self.patch_size = config.patch_size;
         self.grid_size = config.grid_size;
         self.num_orientations = mim.num_orientations;
@@ -318,10 +343,14 @@ impl PatchSamples {
 
         for (kp, samples) in keypoints.iter().zip(per_kp) {
             if let Some(samples) = samples {
-                let start = self.samples.len() as u32;
-                self.samples.extend_from_slice(&samples);
+                let start = self.weights.len() as u32;
+                for s in &samples {
+                    self.weights.push(s.weight);
+                    self.offsets.push(s.offset);
+                    self.indices.push(s.index);
+                }
                 self.keypoints.push(*kp);
-                self.spans.push((start, self.samples.len() as u32));
+                self.spans.push((start, self.weights.len() as u32));
             }
         }
     }
@@ -349,23 +378,28 @@ impl PatchSamples {
         out.data.resize(n * dim, 0.0);
 
         let table = sweep.table(k);
-        let bin_shift = sweep.bin_shifts[k];
+        let lut = &sweep.luts[k];
         let n_o = sweep.num_orientations;
 
         // One disjoint output row per keypoint; a row stays all-zero iff
         // the naive path would have dropped the descriptor (its L2 norm is
-        // zero), which the serial compaction below detects.
+        // zero), which the serial compaction below detects. The per-sample
+        // soft-bin split is precomputed in the hypothesis's LUT; the
+        // scatter stays scalar in sample order (colliding bins make the
+        // f32 accumulation order observable).
         let spans = &self.spans;
-        let samples = &self.samples;
         bba_par::par_for_rows(&mut out.data, dim, |i, row| {
-            let (start, end) = spans[i];
-            for s in &samples[start as usize..end as usize] {
-                let cell = table[s.offset as usize];
-                if cell == OUT_OF_PATCH {
-                    continue;
-                }
-                soft_bin(row, cell as usize * n_o, s.index, bin_shift, n_o, s.weight);
-            }
+            let (start, end) = (spans[i].0 as usize, spans[i].1 as usize);
+            bba_simd::rebin_row(
+                row,
+                &self.weights[start..end],
+                &self.offsets[start..end],
+                &self.indices[start..end],
+                table,
+                OUT_OF_PATCH,
+                n_o,
+                lut,
+            );
             l2_normalize(row);
         });
 

@@ -5,6 +5,10 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
 
 /// A complex number with `f64` components.
 ///
+/// `repr(C)` so a `[Complex]` slice is layout-compatible with interleaved
+/// `[re, im, re, im, …]` `f64` data — the view the `bba-simd` kernels
+/// operate on (see the crate-private `as_floats` / `as_floats_mut`).
+///
 /// # Example
 ///
 /// ```
@@ -13,11 +17,26 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
 /// assert_eq!(i * i, Complex::new(-1.0, 0.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
     /// Imaginary part.
     pub im: f64,
+}
+
+/// Views a complex slice as interleaved `f64` data for the SIMD kernels.
+pub(crate) fn as_floats(x: &[Complex]) -> &[f64] {
+    // SAFETY: `Complex` is `repr(C)` with exactly two `f64` fields, so its
+    // layout is two consecutive `f64`s with no padding; the produced slice
+    // covers the same allocation with the same lifetime.
+    unsafe { std::slice::from_raw_parts(x.as_ptr() as *const f64, x.len() * 2) }
+}
+
+/// Mutable interleaved-`f64` view of a complex slice.
+pub(crate) fn as_floats_mut(x: &mut [Complex]) -> &mut [f64] {
+    // SAFETY: as in `as_floats`; exclusivity carries over from `&mut`.
+    unsafe { std::slice::from_raw_parts_mut(x.as_mut_ptr() as *mut f64, x.len() * 2) }
 }
 
 impl Complex {

@@ -173,15 +173,16 @@ pub fn rfft2d(img: &Grid<f64>) -> Result<Grid<Complex>, FftError> {
     let plan_h = shared_plan(h)?;
     let mut spec = Grid::new(w, h, Complex::ZERO);
     let mut pack = vec![Complex::ZERO; w];
-    let mut col = vec![Complex::ZERO; h];
+    let mut col = vec![Complex::ZERO; 4 * h];
     rfft2d_into(img, &plan_w, &plan_h, &mut spec, &mut pack, &mut col);
     Ok(spec)
 }
 
 /// Allocation-free core of [`rfft2d`]: writes the full complex spectrum of
 /// `img` into `spec` using caller-provided scratch (`pack` of length `W`,
-/// `col` of length `H`). Serial by design — the MIM hot path calls this once
-/// per frame and spends its thread budget on the 24 filter lanes instead.
+/// `col` of length at least `H`; `2·H` unlocks the paired-column fast
+/// path). Serial by design — the MIM hot path calls this once per frame and
+/// spends its thread budget on the 24 filter lanes instead.
 ///
 /// # Panics
 ///
@@ -225,15 +226,38 @@ pub(crate) fn rfft2d_into(
         }
     }
     // Column pass on bins 0..=W/2; the upper half follows from the
-    // Hermitian symmetry of the full real-input 2-D spectrum.
-    for u in 0..=w / 2 {
-        for (v, z) in col.iter_mut().enumerate() {
+    // Hermitian symmetry of the full real-input 2-D spectrum. When the
+    // scratch has room for two interleaved columns, adjacent bins ride one
+    // two-stream transform ([`FftPlan::forward_pair`]) so the butterflies
+    // see contiguous vector lanes; each stream is bit-identical to its
+    // single-column transform.
+    let top = w / 2;
+    let mut u = 0;
+    if col.len() >= 2 * h {
+        let pair = &mut col[..2 * h];
+        while u < top {
+            for v in 0..h {
+                pair[2 * v] = spec[(u, v)];
+                pair[2 * v + 1] = spec[(u + 1, v)];
+            }
+            plan_h.forward_pair(pair);
+            for v in 0..h {
+                spec[(u, v)] = pair[2 * v];
+                spec[(u + 1, v)] = pair[2 * v + 1];
+            }
+            u += 2;
+        }
+    }
+    while u <= top {
+        let single = &mut col[..h];
+        for (v, z) in single.iter_mut().enumerate() {
             *z = spec[(u, v)];
         }
-        plan_h.forward(col);
-        for (v, &z) in col.iter().enumerate() {
+        plan_h.forward(single);
+        for (v, &z) in single.iter().enumerate() {
             spec[(u, v)] = z;
         }
+        u += 1;
     }
     for u in w / 2 + 1..w {
         for v in 0..h {
@@ -243,9 +267,10 @@ pub(crate) fn rfft2d_into(
 }
 
 /// Serial in-place unnormalised inverse 2-D FFT over a row-major buffer,
-/// using caller-provided column scratch (`col` of length `H`). The caller
-/// applies the `1/(W·H)` normalisation, typically fused into whatever pass
-/// consumes the result.
+/// using caller-provided column scratch (`col` of length at least `H`;
+/// `2·H` unlocks the paired-column fast path, `4·H` the quad-column gather). The caller applies the
+/// `1/(W·H)` normalisation, typically fused into whatever pass consumes
+/// the result.
 pub(crate) fn ifft2d_unscaled_into(
     data: &mut [Complex],
     w: usize,
@@ -255,17 +280,63 @@ pub(crate) fn ifft2d_unscaled_into(
     col: &mut [Complex],
 ) {
     debug_assert_eq!(data.len(), w * h);
-    for row in data.chunks_exact_mut(w) {
-        plan_w.inverse_unscaled(row);
+    // Row pass, all rows in one batched transform: each butterfly level is
+    // a single kernel call over the whole buffer (bit-identical per row to
+    // transforming it alone).
+    plan_w.inverse_unscaled_many(data);
+    // Column pass: four columns per sweep when the scratch allows (one
+    // 64-byte line holds four complexes, so the strided gather/scatter
+    // touches each line once for all four), as two independent paired
+    // transforms — bit-identical per column to transforming it alone.
+    let mut u = 0;
+    if col.len() >= 4 * h {
+        let quad = &mut col[..4 * h];
+        while u + 4 <= w {
+            for v in 0..h {
+                let base = v * w + u;
+                quad[2 * v] = data[base];
+                quad[2 * v + 1] = data[base + 1];
+                quad[2 * h + 2 * v] = data[base + 2];
+                quad[2 * h + 2 * v + 1] = data[base + 3];
+            }
+            let (p0, p1) = quad.split_at_mut(2 * h);
+            plan_h.inverse_unscaled_pair(p0);
+            plan_h.inverse_unscaled_pair(p1);
+            for v in 0..h {
+                let base = v * w + u;
+                data[base] = p0[2 * v];
+                data[base + 1] = p0[2 * v + 1];
+                data[base + 2] = p1[2 * v];
+                data[base + 3] = p1[2 * v + 1];
+            }
+            u += 4;
+        }
     }
-    for u in 0..w {
-        for (v, z) in col.iter_mut().enumerate() {
+    if col.len() >= 2 * h {
+        let pair = &mut col[..2 * h];
+        while u + 2 <= w {
+            for v in 0..h {
+                pair[2 * v] = data[v * w + u];
+                pair[2 * v + 1] = data[v * w + u + 1];
+            }
+            plan_h.inverse_unscaled_pair(pair);
+            for v in 0..h {
+                data[v * w + u] = pair[2 * v];
+                data[v * w + u + 1] = pair[2 * v + 1];
+            }
+            u += 2;
+        }
+    }
+    while u < w {
+        let single = &mut col[..h];
+        for (v, z) in single.iter_mut().enumerate() {
             *z = data[v * w + u];
         }
-        plan_h.inverse_unscaled(col);
-        for (v, &z) in col.iter().enumerate() {
+        plan_h.inverse_unscaled(single);
+        for (v, &z) in single.iter().enumerate() {
             data[v * w + u] = z;
         }
+        u += 1;
     }
 }
 

@@ -20,7 +20,7 @@
 //! inverse FFT; the complex magnitude of the result is the amplitude
 //! `A(ρ, θ, s, o)` used in Eq. (9)–(10).
 
-use crate::complex::Complex;
+use crate::complex::{as_floats, as_floats_mut, Complex};
 use crate::fft::{ifft2d_unscaled_into, rfft2d_into, FftError};
 use crate::grid::Grid;
 use crate::workspace::FftWorkspace;
@@ -301,12 +301,13 @@ impl LogGaborBank {
         bba_par::par_for_rows(lanes, 1, |o, lane| {
             let lane = &mut lane[0];
             for (p, pair) in self.packed[o].iter().enumerate() {
-                // Frequency-domain product F·(L_a + i·L_b) = F_a + i·F_b.
-                for ((z, &s), &f) in
-                    lane.filtered.iter_mut().zip(spectrum.as_slice()).zip(pair.as_slice())
-                {
-                    *z = s * f;
-                }
+                // Frequency-domain product F·(L_a + i·L_b) = F_a + i·F_b,
+                // vectorised with scalar-identical rounding.
+                bba_simd::cmul(
+                    as_floats_mut(&mut lane.filtered),
+                    as_floats(spectrum.as_slice()),
+                    as_floats(pair.as_slice()),
+                );
                 ifft2d_unscaled_into(
                     &mut lane.filtered,
                     self.width,
@@ -318,32 +319,125 @@ impl LogGaborBank {
                 // Split the packed pair and accumulate, fusing the 1/(W·H)
                 // normalisation. The responses are mathematically real, so
                 // amplitude ‖·‖ reduces to |re| (and |im| for the partner).
-                let acc = lane.acc.as_mut_slice();
                 let both = 2 * p + 1 < num_scales;
-                match (p == 0, both) {
-                    (true, true) => {
-                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
-                            *a = (z.re * scale).abs() + (z.im * scale).abs();
-                        }
-                    }
-                    (true, false) => {
-                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
-                            *a = (z.re * scale).abs();
-                        }
-                    }
-                    (false, true) => {
-                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
-                            *a = (*a + (z.re * scale).abs()) + (z.im * scale).abs();
-                        }
-                    }
-                    (false, false) => {
-                        for (a, z) in acc.iter_mut().zip(&lane.filtered) {
-                            *a += (z.re * scale).abs();
-                        }
+                bba_simd::amp_accumulate(
+                    lane.acc.as_mut_slice(),
+                    as_floats(&lane.filtered),
+                    scale,
+                    both,
+                    p == 0,
+                );
+            }
+        });
+        Ok(())
+    }
+
+    /// Fused streaming MIM reduction — the Eq. (9)–(10) argmax without ever
+    /// materialising the per-orientation amplitude grids.
+    ///
+    /// Each worker lane owns a contiguous chunk of orientations. Per
+    /// orientation, the non-final packed scale pairs accumulate into the
+    /// lane's running sum exactly as on the full path; the final pair folds
+    /// the completed amplitude straight into the lane's `(max_amp, max_idx)`
+    /// running argmax with strict `>` (first orientation wins ties). A
+    /// serial ascending merge across lanes — lane 0 seeds the output, later
+    /// lanes fold in with the same strict `>` — reproduces one serial pass
+    /// over all orientations, so results are bit-identical to
+    /// [`MaxIndexMap::compute_via_amplitudes`](crate::MaxIndexMap::compute_via_amplitudes)
+    /// at every thread count.
+    ///
+    /// With caller-provided output grids this is the fully allocation-free
+    /// MIM entry point: once `ws` has seen the image size, steady-state
+    /// calls never touch the heap (proved by
+    /// `crates/signal/tests/alloc_free.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the image dimensions are not powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image or output shapes differ from the bank's.
+    pub fn mim_fused_into(
+        &self,
+        img: &Grid<f64>,
+        ws: &mut FftWorkspace,
+        index: &mut Grid<u8>,
+        amplitude: &mut Grid<f64>,
+    ) -> Result<(), FftError> {
+        assert_eq!(
+            (img.width(), img.height()),
+            (self.width, self.height),
+            "image shape does not match filter bank"
+        );
+        assert_eq!((index.width(), index.height()), (self.width, self.height));
+        assert_eq!((amplitude.width(), amplitude.height()), (self.width, self.height));
+        let n_o = self.config.num_orientations;
+        let workers = bba_par::current_threads().clamp(1, n_o);
+        let chunk = n_o.div_ceil(workers);
+        let n_lanes = n_o.div_ceil(chunk);
+        ws.ensure_fused(self.width, self.height, n_lanes)?;
+        let FftWorkspace { plans, spectrum, pack, col, lanes, .. } = ws;
+        let (plan_w, plan_h) = plans.as_ref().expect("ensure always sets plans");
+        rfft2d_into(img, plan_w, plan_h, spectrum, pack, col);
+        let spectrum = &*spectrum;
+        let num_scales = self.config.num_scales;
+        let n_pairs = num_scales.div_ceil(2);
+        let scale = 1.0 / (self.width * self.height) as f64;
+        bba_par::par_for_rows(lanes, 1, |lane_i, lane| {
+            let lane = &mut lane[0];
+            lane.max_amp.fill(f64::NEG_INFINITY);
+            lane.max_idx.fill(0);
+            let lo = lane_i * chunk;
+            let hi = ((lane_i + 1) * chunk).min(n_o);
+            for o in lo..hi {
+                for (p, pair) in self.packed[o].iter().enumerate() {
+                    bba_simd::cmul(
+                        as_floats_mut(&mut lane.filtered),
+                        as_floats(spectrum.as_slice()),
+                        as_floats(pair.as_slice()),
+                    );
+                    ifft2d_unscaled_into(
+                        &mut lane.filtered,
+                        self.width,
+                        self.height,
+                        plan_w,
+                        plan_h,
+                        &mut lane.col,
+                    );
+                    let both = 2 * p + 1 < num_scales;
+                    if p + 1 < n_pairs {
+                        bba_simd::amp_accumulate(
+                            lane.acc.as_mut_slice(),
+                            as_floats(&lane.filtered),
+                            scale,
+                            both,
+                            p == 0,
+                        );
+                    } else {
+                        // Final pair: complete the amplitude in-register and
+                        // fold it into the running argmax.
+                        let partial = (p > 0).then_some(lane.acc.as_slice());
+                        bba_simd::amp_max_fold(
+                            &mut lane.max_amp,
+                            &mut lane.max_idx,
+                            as_floats(&lane.filtered),
+                            scale,
+                            both,
+                            partial,
+                            o as u8,
+                        );
                     }
                 }
             }
         });
+        let amp_out = amplitude.as_mut_slice();
+        let idx_out = index.as_mut_slice();
+        amp_out.copy_from_slice(&lanes[0].max_amp);
+        idx_out.copy_from_slice(&lanes[0].max_idx);
+        for lane in &lanes[1..] {
+            bba_simd::max_merge(amp_out, idx_out, &lane.max_amp, &lane.max_idx);
+        }
         Ok(())
     }
 }

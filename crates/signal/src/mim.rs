@@ -74,11 +74,44 @@ impl MaxIndexMap {
     /// are identical to [`MaxIndexMap::compute_with_bank`] at every thread
     /// count.
     ///
+    /// This is the **fused streaming reduction**: per-orientation amplitude
+    /// grids are never materialised — each filtered scale pair streams from
+    /// the packed inverse FFT through amplitude into a running per-lane
+    /// `(max_amp, max_idx)` fold (see
+    /// [`LogGaborBank::orientation_amplitudes_into`] for the full-amplitude
+    /// sibling). Bit-identical to [`MaxIndexMap::compute_via_amplitudes`]
+    /// at every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the image shape differs from the bank's, or the dimensions
     /// are not powers of two.
     pub fn compute_with_workspace(
+        img: &Grid<f64>,
+        bank: &LogGaborBank,
+        ws: &mut FftWorkspace,
+    ) -> MaxIndexMap {
+        let w = img.width();
+        let h = img.height();
+        let mut index = Grid::new(w, h, 0u8);
+        let mut amplitude = Grid::new(w, h, 0.0f64);
+        bank.mim_fused_into(img, ws, &mut index, &mut amplitude)
+            .expect("BV images are power-of-two sized");
+        MaxIndexMap { index, amplitude, num_orientations: bank.config().num_orientations }
+    }
+
+    /// Reference two-pass MIM: materialises every per-orientation amplitude
+    /// grid via [`LogGaborBank::orientation_amplitudes_into`], then scans
+    /// the per-pixel argmax. Kept in-tree as the readable specification the
+    /// fused path ([`MaxIndexMap::compute_with_workspace`]) is
+    /// equivalence-tested against; callers that also need the full
+    /// amplitude grids (workspace [`FftWorkspace::amplitudes`]) use it too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape differs from the bank's, or the dimensions
+    /// are not powers of two.
+    pub fn compute_via_amplitudes(
         img: &Grid<f64>,
         bank: &LogGaborBank,
         ws: &mut FftWorkspace,
@@ -206,6 +239,47 @@ mod tests {
         assert!(t > 0.0);
         assert!(t <= mim.amplitude.max_value());
         assert_eq!(mim.significance_threshold(2.0), mim.amplitude.max_value());
+    }
+
+    #[test]
+    fn fused_matches_reference_bitwise_at_thread_widths_1_to_8() {
+        // The fused streaming reduction must reproduce the two-pass
+        // reference bit-for-bit: same winning index, same winning amplitude
+        // bits, at every thread width and scale-pair parity (odd scale
+        // counts exercise the half-packed final pair; num_scales=1 and 2
+        // exercise the no-partial fold).
+        let img = line_image(32, 40.0);
+        for num_scales in [1, 2, 3, 4] {
+            let cfg = LogGaborConfig { num_scales, ..LogGaborConfig::default() };
+            let bank = crate::loggabor::LogGaborBank::new(32, 32, cfg);
+            let mut ws_ref = FftWorkspace::new();
+            let reference = bba_par::with_threads(1, || {
+                MaxIndexMap::compute_via_amplitudes(&img, &bank, &mut ws_ref)
+            });
+            for threads in 1..=8 {
+                let mut ws = FftWorkspace::new();
+                let fused = bba_par::with_threads(threads, || {
+                    MaxIndexMap::compute_with_workspace(&img, &bank, &mut ws)
+                });
+                assert_eq!(
+                    fused.index, reference.index,
+                    "index diverged (scales={num_scales}, threads={threads})"
+                );
+                for (i, (a, b)) in fused
+                    .amplitude
+                    .as_slice()
+                    .iter()
+                    .zip(reference.amplitude.as_slice())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "amplitude bits diverged at pixel {i} (scales={num_scales}, threads={threads})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -46,9 +46,13 @@ pub struct FftPlan {
     n: usize,
     /// `bitrev[i]` is the bit-reversed index of `i` (swap partner).
     bitrev: Vec<u32>,
-    /// Forward twiddles `e^{-2πi·j/N}` for `j` in `0..N/2`.
+    /// Forward twiddles, laid out per butterfly level: the level with half
+    /// size `h` occupies `fwd[h-1..2h-1]` and holds `e^{-2πi·j/(2h)}` for
+    /// `j` in `0..h` — the stride-`N/(2h)` subsample of the classic
+    /// `e^{-2πi·j/N}` table, stored contiguously so the butterfly kernels
+    /// load twiddles with unit stride at every level.
     fwd: Vec<Complex>,
-    /// Inverse twiddles `e^{+2πi·j/N}` for `j` in `0..N/2`.
+    /// Inverse twiddles, same per-level layout, conjugated.
     inv: Vec<Complex>,
 }
 
@@ -74,8 +78,17 @@ impl FftPlan {
             .collect();
         // Each twiddle is evaluated directly at its own angle — no
         // recurrence, so the table is correctly rounded entry by entry.
-        let fwd: Vec<Complex> =
+        let dense: Vec<Complex> =
             (0..n / 2).map(|j| Complex::cis(-2.0 * PI * j as f64 / n as f64)).collect();
+        // Re-lay the dense table out per butterfly level (copies, so every
+        // entry is bit-identical to the classic strided access).
+        let mut fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut half = 1usize;
+        while half < n {
+            let stride = n / (2 * half);
+            fwd.extend((0..half).map(|j| dense[j * stride]));
+            half *= 2;
+        }
         let inv = fwd.iter().map(|w| w.conj()).collect();
         Ok(FftPlan { n, bitrev, fwd, inv })
     }
@@ -121,32 +134,125 @@ impl FftPlan {
         self.butterflies(x, &self.inv);
     }
 
-    /// Shared butterfly kernel over a precomputed twiddle table.
+    /// Shared butterfly kernel over a precomputed twiddle table: one
+    /// [`bba_simd::fft_pass`] call per level (the block loop lives inside
+    /// the dispatched kernel — AVX2 or the portable scalar twin,
+    /// bit-identical either way; the portable path *is* the original scalar
+    /// loop).
     fn butterflies(&self, x: &mut [Complex], twiddles: &[Complex]) {
+        assert_eq!(x.len(), self.n, "buffer length does not match plan length");
+        self.butterflies_many(x, twiddles);
+    }
+
+    /// [`FftPlan::butterflies`] over any whole number of contiguous
+    /// length-`N` chunks. Chunks are processed in cache-sized groups: per
+    /// group, bit-reversal runs per chunk, then each butterfly level sweeps
+    /// the group in a single kernel call (blocks of `2·half` elements tile
+    /// every chunk exactly, so per chunk the op sequence is identical to
+    /// transforming it alone — grouping changes neither the arithmetic nor
+    /// its order, only call overhead and cache residency).
+    fn butterflies_many(&self, x: &mut [Complex], twiddles: &[Complex]) {
         let n = self.n;
-        assert_eq!(x.len(), n, "buffer length does not match plan length");
+        assert_eq!(x.len() % n, 0, "buffer length must be a multiple of the plan length");
+        if n <= 1 {
+            return;
+        }
+        // ~32 KiB of complexes per group: big enough to amortise the
+        // per-level kernel call, small enough that a group stays L1/L2-hot
+        // across all log₂ N levels.
+        let group = (2048 / n).max(1) * n;
+        let tw = crate::complex::as_floats(twiddles);
+        for slab in x.chunks_mut(group) {
+            for chunk in slab.chunks_exact_mut(n) {
+                for (i, &j) in self.bitrev.iter().enumerate() {
+                    let j = j as usize;
+                    if i < j {
+                        chunk.swap(i, j);
+                    }
+                }
+            }
+            let xf = crate::complex::as_floats_mut(slab);
+            let mut half = 1usize;
+            while half < n {
+                bba_simd::fft_pass(xf, &tw[2 * (half - 1)..2 * (2 * half - 1)], half, 1);
+                half *= 2;
+            }
+        }
+    }
+
+    /// Forward FFT of every contiguous length-`N` chunk of `data` (e.g. all
+    /// rows of a row-major 2-D pass), batched: each butterfly level is one
+    /// kernel call over the whole buffer, bit-identical per chunk to
+    /// [`FftPlan::forward`] on that chunk alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the plan's length.
+    pub fn forward_many(&self, data: &mut [Complex]) {
+        self.butterflies_many(data, &self.fwd);
+    }
+
+    /// Batched unnormalised inverse, the multi-chunk twin of
+    /// [`FftPlan::inverse_unscaled`]; see [`FftPlan::forward_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the plan's length.
+    pub fn inverse_unscaled_many(&self, data: &mut [Complex]) {
+        self.butterflies_many(data, &self.inv);
+    }
+
+    /// In-place forward FFT of **two interleaved signals**: `x` holds `2N`
+    /// complexes laid out as `[a_0, b_0, a_1, b_1, …]`, and both streams
+    /// are transformed as if [`FftPlan::forward`] ran on each separately —
+    /// bit-identically so (the paired butterfly applies the identical
+    /// scalar op sequence per stream; pinned by the `butterfly_x2`
+    /// equivalence proptests).
+    ///
+    /// This is the paired-column kernel of the 2-D transforms: gathering
+    /// two adjacent columns keeps every access contiguous (one cache line
+    /// serves both streams) and lets AVX2 run one full butterfly per
+    /// 256-bit op, with no scalar remainder at any pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from twice the plan's length.
+    pub fn forward_pair(&self, x: &mut [Complex]) {
+        self.butterflies_pair(x, &self.fwd);
+    }
+
+    /// Paired-stream inverse FFT *without* the `1/N` normalisation; see
+    /// [`FftPlan::forward_pair`] for the layout and
+    /// [`FftPlan::inverse_unscaled`] for the scaling convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from twice the plan's length.
+    pub fn inverse_unscaled_pair(&self, x: &mut [Complex]) {
+        self.butterflies_pair(x, &self.inv);
+    }
+
+    /// Butterfly passes over interleaved stream pairs: element `i` of the
+    /// logical transform is the complex *pair* `x[2i..2i+2]`. One
+    /// [`bba_simd::fft_pass_x2`] call per level.
+    fn butterflies_pair(&self, x: &mut [Complex], twiddles: &[Complex]) {
+        let n = self.n;
+        assert_eq!(x.len(), 2 * n, "buffer length does not match paired plan length");
         if n <= 1 {
             return;
         }
         for (i, &j) in self.bitrev.iter().enumerate() {
             let j = j as usize;
             if i < j {
-                x.swap(i, j);
+                x.swap(2 * i, 2 * j);
+                x.swap(2 * i + 1, 2 * j + 1);
             }
         }
+        let tw = crate::complex::as_floats(twiddles);
+        let xf = crate::complex::as_floats_mut(x);
         let mut half = 1usize;
         while half < n {
-            let stride = n / (2 * half);
-            for block in x.chunks_exact_mut(2 * half) {
-                let (lo, hi) = block.split_at_mut(half);
-                for k in 0..half {
-                    let w = twiddles[k * stride];
-                    let b = hi[k] * w;
-                    let a = lo[k];
-                    lo[k] = a + b;
-                    hi[k] = a - b;
-                }
-            }
+            bba_simd::fft_pass_x2(xf, &tw[2 * (half - 1)..2 * (2 * half - 1)], half, 1);
             half *= 2;
         }
     }
@@ -232,6 +338,76 @@ mod tests {
         let plan = FftPlan::new(8).unwrap();
         let mut x = vec![Complex::ZERO; 4];
         plan.forward(&mut x);
+    }
+
+    #[test]
+    fn paired_transforms_match_single_streams_bitwise() {
+        for n in [1usize, 2, 8, 32, 64] {
+            let plan = FftPlan::new(n).unwrap();
+            let a: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let b: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.2).cos(), -(i as f64 * 0.9).sin()))
+                .collect();
+            let mut pair: Vec<Complex> = (0..n).flat_map(|i| [a[i], b[i]]).collect();
+            let (mut fa, mut fb) = (a.clone(), b.clone());
+            plan.forward_pair(&mut pair);
+            plan.forward(&mut fa);
+            plan.forward(&mut fb);
+            let assert_bits = |x: Complex, y: Complex| {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "n={n}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "n={n}");
+            };
+            for i in 0..n {
+                assert_bits(pair[2 * i], fa[i]);
+                assert_bits(pair[2 * i + 1], fb[i]);
+            }
+            plan.inverse_unscaled_pair(&mut pair);
+            plan.inverse_unscaled(&mut fa);
+            plan.inverse_unscaled(&mut fb);
+            for i in 0..n {
+                assert_bits(pair[2 * i], fa[i]);
+                assert_bits(pair[2 * i + 1], fb[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn many_matches_per_chunk_transforms_bitwise() {
+        for n in [1usize, 2, 8, 32] {
+            let plan = FftPlan::new(n).unwrap();
+            let chunks = 5;
+            let data: Vec<Complex> = (0..n * chunks)
+                .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+                .collect();
+            let mut fwd = data.clone();
+            plan.forward_many(&mut fwd);
+            let mut inv = data.clone();
+            plan.inverse_unscaled_many(&mut inv);
+            for c in 0..chunks {
+                let mut one_f = data[c * n..(c + 1) * n].to_vec();
+                plan.forward(&mut one_f);
+                let mut one_i = data[c * n..(c + 1) * n].to_vec();
+                plan.inverse_unscaled(&mut one_i);
+                for k in 0..n {
+                    let (a, b) = (fwd[c * n + k], one_f[k]);
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n} chunk={c}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} chunk={c}");
+                    let (a, b) = (inv[c * n + k], one_i[k]);
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n} chunk={c}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} chunk={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the plan length")]
+    fn many_rejects_partial_chunks() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut x = vec![Complex::ZERO; 12];
+        plan.forward_many(&mut x);
     }
 
     #[test]

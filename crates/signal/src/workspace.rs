@@ -6,9 +6,10 @@
 //! one amplitude grid per filter — roughly a hundred heap allocations and
 //! ~50 MB of traffic per 256² frame. An [`FftWorkspace`] owns all of that
 //! memory instead: the forward spectrum, the row-pack and column buffers of
-//! the real 2-D transform, and one *lane* per Log-Gabor orientation holding
-//! the packed filtered spectrum, a column buffer and the per-orientation
-//! amplitude accumulator.
+//! the real 2-D transform, and a set of *lanes* — one per Log-Gabor
+//! orientation on the full-amplitude path, one per worker on the fused MIM
+//! path — each holding the packed filtered spectrum, a column buffer, the
+//! amplitude accumulator and (fused only) the running argmax grids.
 //!
 //! Buffers are sized on first use (the crate-private `ensure`) and reused
 //! verbatim afterwards, so the steady-state MIM computation performs **zero
@@ -24,16 +25,32 @@ use crate::grid::Grid;
 use crate::plan::{shared_plan, FftPlan};
 use std::sync::Arc;
 
-/// Per-orientation scratch: the filtered spectrum being inverse-transformed
-/// and the amplitude accumulator it feeds.
+/// Per-worker scratch: the filtered spectrum being inverse-transformed and
+/// the amplitude accumulator it feeds.
+///
+/// On the full-amplitude path there is one lane per orientation and `acc`
+/// is that orientation's output grid. On the fused MIM path there is one
+/// lane per worker; each lane streams a contiguous chunk of orientations
+/// through `acc` (reused as the running scale sum) and folds them into its
+/// `max_amp`/`max_idx` running argmax, which a serial ascending merge then
+/// combines — so the per-orientation amplitude grids are never
+/// materialised.
 #[derive(Debug, Clone)]
 pub(crate) struct OrientationLane {
     /// Packed filtered spectrum / spatial response, `width × height`.
     pub(crate) filtered: Vec<Complex>,
-    /// Column buffer for the inverse transform's second pass.
+    /// Column buffer for the inverse transform's second pass (`2·height`,
+    /// sized for the paired-column transform).
     pub(crate) col: Vec<Complex>,
-    /// Amplitude summed over scales — the per-orientation output grid.
+    /// Amplitude summed over scales — the per-orientation output grid on
+    /// the full path, the per-orientation running sum on the fused path.
     pub(crate) acc: Grid<f64>,
+    /// Fused path only: running maximum amplitude per pixel over the lane's
+    /// orientation chunk. Empty on the full-amplitude path.
+    pub(crate) max_amp: Vec<f64>,
+    /// Fused path only: orientation index attaining `max_amp`. Empty on the
+    /// full-amplitude path.
+    pub(crate) max_idx: Vec<u8>,
 }
 
 /// Reusable scratch buffers for [`LogGaborBank`](crate::LogGaborBank)
@@ -67,9 +84,11 @@ pub struct FftWorkspace {
     pub(crate) spectrum: Grid<Complex>,
     /// Row-pair packing buffer of the real forward transform (`width`).
     pub(crate) pack: Vec<Complex>,
-    /// Column buffer of the forward transform (`height`).
+    /// Column buffer of the forward transform (`2·height`, sized for the
+    /// paired-column transform).
     pub(crate) col: Vec<Complex>,
-    /// One lane per Log-Gabor orientation.
+    /// One lane per Log-Gabor orientation (full-amplitude path) or per
+    /// worker (fused MIM path).
     pub(crate) lanes: Vec<OrientationLane>,
 }
 
@@ -107,6 +126,37 @@ impl FftWorkspace {
         height: usize,
         num_orientations: usize,
     ) -> Result<(), FftError> {
+        self.ensure_lanes(width, height, num_orientations, false)
+    }
+
+    /// Sizes the workspace for the fused MIM reduction: `n_lanes` worker
+    /// lanes, each carrying the running `max_amp`/`max_idx` grids in
+    /// addition to the shared scratch. A no-op when already matching.
+    ///
+    /// Alternating a single workspace between the fused and full-amplitude
+    /// paths reallocates the lanes on every switch — keep one workspace per
+    /// path if both are hot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] if either dimension is not a
+    /// power of two.
+    pub(crate) fn ensure_fused(
+        &mut self,
+        width: usize,
+        height: usize,
+        n_lanes: usize,
+    ) -> Result<(), FftError> {
+        self.ensure_lanes(width, height, n_lanes, true)
+    }
+
+    fn ensure_lanes(
+        &mut self,
+        width: usize,
+        height: usize,
+        n_lanes: usize,
+        fused: bool,
+    ) -> Result<(), FftError> {
         if self.width != width || self.height != height || self.plans.is_none() {
             let plan_w = shared_plan(width)?;
             let plan_h = shared_plan(height)?;
@@ -115,25 +165,34 @@ impl FftWorkspace {
             self.height = height;
             self.spectrum = Grid::new(width, height, Complex::ZERO);
             self.pack = vec![Complex::ZERO; width];
-            self.col = vec![Complex::ZERO; height];
+            self.col = vec![Complex::ZERO; 4 * height];
             self.lanes.clear();
         }
         let len = width * height;
-        if self.lanes.len() != num_orientations
-            || self.lanes.first().is_some_and(|l| l.filtered.len() != len)
+        let max_len = if fused { len } else { 0 };
+        if self.lanes.len() != n_lanes
+            || self
+                .lanes
+                .first()
+                .is_some_and(|l| l.filtered.len() != len || l.max_amp.len() != max_len)
         {
-            self.lanes = (0..num_orientations)
+            self.lanes = (0..n_lanes)
                 .map(|_| OrientationLane {
                     filtered: vec![Complex::ZERO; len],
-                    col: vec![Complex::ZERO; height],
+                    col: vec![Complex::ZERO; 4 * height],
                     acc: Grid::new(width, height, 0.0),
+                    max_amp: vec![0.0; max_len],
+                    max_idx: vec![0; max_len],
                 })
                 .collect();
         }
         Ok(())
     }
 
-    /// Number of per-orientation amplitude grids currently held.
+    /// Number of per-orientation amplitude grids currently held. Only
+    /// meaningful after
+    /// [`LogGaborBank::orientation_amplitudes_into`](crate::LogGaborBank::orientation_amplitudes_into);
+    /// the fused MIM path sizes lanes per worker instead.
     pub fn num_orientations(&self) -> usize {
         self.lanes.len()
     }

@@ -1,0 +1,354 @@
+//! AVX2 kernels (x86_64). Bit-identical to [`crate::portable`] by
+//! construction: every multiply and add is a separate, individually
+//! rounded instruction (no FMA), elementwise ops preserve per-element
+//! order, and the one reduction ([`dot_f32`]) keeps the scalar 4-lane
+//! association by staying on a 128-bit accumulator.
+//!
+//! All functions are `unsafe` because they require AVX2; the dispatcher in
+//! the crate root only calls them after `is_x86_feature_detected!("avx2")`.
+//!
+//! Complex data is interleaved `[re, im, re, im, …]`, so one 256-bit lane
+//! holds two complexes. The complex product `a·b` is computed as
+//!
+//! ```text
+//! t1 = a         · dup_even(b)   = [ar·br, ai·br]
+//! t2 = swap(a)   · dup_odd(b)    = [ai·bi, ar·bi]
+//! a·b = addsub(t1, t2)           = [ar·br − ai·bi, ai·br + ar·bi]
+//! ```
+//!
+//! which rounds each of the four products and the final add/sub exactly
+//! like the scalar `Complex::mul` (the imaginary part's two addends are
+//! the same rounded values, added in commuted order — IEEE addition is
+//! commutative, so the bits agree).
+
+#![allow(clippy::missing_safety_doc)] // one shared contract, documented below
+#![allow(clippy::too_many_arguments)]
+
+use crate::SoftBinLut;
+use core::arch::x86_64::*;
+
+// Shared safety contract for every function in this module:
+// the caller must ensure the CPU supports AVX2 (the crate-root dispatcher
+// checks `is_x86_feature_detected!("avx2")`). Slice-length preconditions
+// are asserted by the crate-root wrappers before dispatch.
+
+/// Clears the sign bit of all four lanes (`|x|`, bitwise like `f64::abs`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn abs_pd(x: __m256d) -> __m256d {
+    _mm256_and_pd(x, _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF)))
+}
+
+/// Complex product of two interleaved-pair vectors (see module docs).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmul_pd(a: __m256d, b: __m256d) -> __m256d {
+    let t1 = _mm256_mul_pd(a, _mm256_movedup_pd(b));
+    let t2 = _mm256_mul_pd(_mm256_permute_pd(a, 0x5), _mm256_permute_pd(b, 0xF));
+    _mm256_addsub_pd(t1, t2)
+}
+
+/// AVX2 [`cmul`](crate::cmul): two complexes per vector, scalar tail.
+#[target_feature(enable = "avx2")]
+pub unsafe fn cmul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    let n = dst.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        _mm256_storeu_pd(dst.as_mut_ptr().add(i), cmul_pd(va, vb));
+        i += 4;
+    }
+    crate::portable::cmul(&mut dst[i..], &a[i..], &b[i..]);
+}
+
+/// AVX2 [`butterfly`](crate::butterfly): two butterflies per vector.
+/// Strided twiddles are gathered with `set_pd`; the contiguous `stride == 1`
+/// case (the final, dominant FFT pass) uses a straight load.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub unsafe fn butterfly(lo: &mut [f64], hi: &mut [f64], twiddles: &[f64], stride: usize) {
+    let half = lo.len() / 2;
+    let mut k = 0;
+    while k + 2 <= half {
+        let w = if stride == 1 {
+            _mm256_loadu_pd(twiddles.as_ptr().add(2 * k))
+        } else {
+            _mm256_set_pd(
+                twiddles[2 * (k + 1) * stride + 1],
+                twiddles[2 * (k + 1) * stride],
+                twiddles[2 * k * stride + 1],
+                twiddles[2 * k * stride],
+            )
+        };
+        let h = _mm256_loadu_pd(hi.as_ptr().add(2 * k));
+        let l = _mm256_loadu_pd(lo.as_ptr().add(2 * k));
+        let b = cmul_pd(h, w);
+        _mm256_storeu_pd(lo.as_mut_ptr().add(2 * k), _mm256_add_pd(l, b));
+        _mm256_storeu_pd(hi.as_mut_ptr().add(2 * k), _mm256_sub_pd(l, b));
+        k += 2;
+    }
+    // Odd remainder: only the half == 1 pass (power-of-two halves).
+    if k < half {
+        crate::portable::butterfly(
+            &mut lo[2 * k..],
+            &mut hi[2 * k..],
+            &twiddles[2 * k * stride..],
+            stride,
+        );
+    }
+}
+
+/// AVX2 [`butterfly_x2`](crate::butterfly_x2): one paired butterfly (two
+/// streams × one complex) per vector, twiddle broadcast to both streams —
+/// every pass fully vectorises, including `half == 1`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub unsafe fn butterfly_x2(lo: &mut [f64], hi: &mut [f64], twiddles: &[f64], stride: usize) {
+    let half = lo.len() / 4;
+    for k in 0..half {
+        let w = _mm256_broadcast_pd(&*(twiddles.as_ptr().add(2 * k * stride) as *const __m128d));
+        let h = _mm256_loadu_pd(hi.as_ptr().add(4 * k));
+        let l = _mm256_loadu_pd(lo.as_ptr().add(4 * k));
+        let b = cmul_pd(h, w);
+        _mm256_storeu_pd(lo.as_mut_ptr().add(4 * k), _mm256_add_pd(l, b));
+        _mm256_storeu_pd(hi.as_mut_ptr().add(4 * k), _mm256_sub_pd(l, b));
+    }
+}
+
+/// AVX2 [`fft_pass`](crate::fft_pass): one whole butterfly level per call,
+/// block loop inside the kernel. The `half == 1` level — whose one-complex
+/// halves the generic two-butterfly kernel would leave entirely to its
+/// scalar remainder — gets a dedicated path: two adjacent `[lo, hi]` blocks
+/// are shuffled into one `[lo0, lo1]` / `[hi0, hi1]` vector butterfly
+/// sharing the level's single twiddle (per element, exactly the scalar op
+/// sequence).
+#[target_feature(enable = "avx2")]
+pub unsafe fn fft_pass(x: &mut [f64], twiddles: &[f64], half: usize, stride: usize) {
+    if half == 1 {
+        let w = _mm256_broadcast_pd(&*(twiddles.as_ptr() as *const __m128d));
+        let n = x.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let v0 = _mm256_loadu_pd(x.as_ptr().add(i)); // [lo0, hi0]
+            let v1 = _mm256_loadu_pd(x.as_ptr().add(i + 4)); // [lo1, hi1]
+            let lo = _mm256_permute2f128_pd::<0x20>(v0, v1);
+            let hi = _mm256_permute2f128_pd::<0x31>(v0, v1);
+            let b = cmul_pd(hi, w);
+            let nlo = _mm256_add_pd(lo, b);
+            let nhi = _mm256_sub_pd(lo, b);
+            _mm256_storeu_pd(x.as_mut_ptr().add(i), _mm256_permute2f128_pd::<0x20>(nlo, nhi));
+            _mm256_storeu_pd(x.as_mut_ptr().add(i + 4), _mm256_permute2f128_pd::<0x31>(nlo, nhi));
+            i += 8;
+        }
+        if i < n {
+            let (lo, hi) = x[i..].split_at_mut(2);
+            crate::portable::butterfly(lo, hi, twiddles, stride);
+        }
+        return;
+    }
+    for block in x.chunks_exact_mut(4 * half) {
+        let (lo, hi) = block.split_at_mut(2 * half);
+        butterfly(lo, hi, twiddles, stride);
+    }
+}
+
+/// AVX2 [`fft_pass_x2`](crate::fft_pass_x2): one whole paired-stream
+/// butterfly level per call ([`butterfly_x2`] already fully vectorises
+/// every `half`, including 1).
+#[target_feature(enable = "avx2")]
+pub unsafe fn fft_pass_x2(x: &mut [f64], twiddles: &[f64], half: usize, stride: usize) {
+    for block in x.chunks_exact_mut(8 * half) {
+        let (lo, hi) = block.split_at_mut(4 * half);
+        butterfly_x2(lo, hi, twiddles, stride);
+    }
+}
+
+/// Deinterleaves two packed-complex vectors (pixels 0..4) into natural-order
+/// `(|re·scale|, |im·scale|)` vectors.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn amp_parts(z: *const f64, scale: __m256d) -> (__m256d, __m256d) {
+    let t01 = abs_pd(_mm256_mul_pd(_mm256_loadu_pd(z), scale));
+    let t23 = abs_pd(_mm256_mul_pd(_mm256_loadu_pd(z.add(4)), scale));
+    // unpacklo → [p0, p2, p1, p3]; permute4x64(0xD8) restores [p0, p1, p2, p3].
+    let re = _mm256_permute4x64_pd(_mm256_unpacklo_pd(t01, t23), 0xD8);
+    let im = _mm256_permute4x64_pd(_mm256_unpackhi_pd(t01, t23), 0xD8);
+    (re, im)
+}
+
+/// AVX2 [`amp_accumulate`](crate::amp_accumulate): four pixels per
+/// iteration, same add order per pixel as the scalar arms.
+#[target_feature(enable = "avx2")]
+pub unsafe fn amp_accumulate(acc: &mut [f64], z: &[f64], scale: f64, both: bool, init: bool) {
+    let n = acc.len();
+    let s = _mm256_set1_pd(scale);
+    let mut i = 0;
+    while i + 4 <= n {
+        let (re, im) = amp_parts(z.as_ptr().add(2 * i), s);
+        let out = match (init, both) {
+            (true, true) => _mm256_add_pd(re, im),
+            (true, false) => re,
+            (false, true) => {
+                _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(acc.as_ptr().add(i)), re), im)
+            }
+            (false, false) => _mm256_add_pd(_mm256_loadu_pd(acc.as_ptr().add(i)), re),
+        };
+        _mm256_storeu_pd(acc.as_mut_ptr().add(i), out);
+        i += 4;
+    }
+    crate::portable::amp_accumulate(&mut acc[i..], &z[2 * i..], scale, both, init);
+}
+
+/// AVX2 [`amp_max_fold`](crate::amp_max_fold): four pixels per iteration;
+/// the strict-`>` compare mask updates amplitudes by blend and indices by
+/// per-bit scalar stores (indices are `u8`, too narrow to blend usefully).
+#[target_feature(enable = "avx2")]
+pub unsafe fn amp_max_fold(
+    max_amp: &mut [f64],
+    max_idx: &mut [u8],
+    z: &[f64],
+    scale: f64,
+    both: bool,
+    partial: Option<&[f64]>,
+    o: u8,
+) {
+    let n = max_amp.len();
+    let s = _mm256_set1_pd(scale);
+    let mut i = 0;
+    while i + 4 <= n {
+        let (re, im) = amp_parts(z.as_ptr().add(2 * i), s);
+        let a = match (partial, both) {
+            (None, true) => _mm256_add_pd(re, im),
+            (None, false) => re,
+            (Some(p), true) => {
+                _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(p.as_ptr().add(i)), re), im)
+            }
+            (Some(p), false) => _mm256_add_pd(_mm256_loadu_pd(p.as_ptr().add(i)), re),
+        };
+        let m = _mm256_loadu_pd(max_amp.as_ptr().add(i));
+        let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(a, m);
+        _mm256_storeu_pd(max_amp.as_mut_ptr().add(i), _mm256_blendv_pd(m, a, gt));
+        let mask = _mm256_movemask_pd(gt);
+        if mask != 0 {
+            for j in 0..4 {
+                if mask & (1 << j) != 0 {
+                    max_idx[i + j] = o;
+                }
+            }
+        }
+        i += 4;
+    }
+    crate::portable::amp_max_fold(
+        &mut max_amp[i..],
+        &mut max_idx[i..],
+        &z[2 * i..],
+        scale,
+        both,
+        partial.map(|p| &p[i..]),
+        o,
+    );
+}
+
+/// AVX2 [`max_merge`](crate::max_merge).
+#[target_feature(enable = "avx2")]
+pub unsafe fn max_merge(amp: &mut [f64], idx: &mut [u8], cand_amp: &[f64], cand_idx: &[u8]) {
+    let n = amp.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let a = _mm256_loadu_pd(amp.as_ptr().add(i));
+        let c = _mm256_loadu_pd(cand_amp.as_ptr().add(i));
+        let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(c, a);
+        _mm256_storeu_pd(amp.as_mut_ptr().add(i), _mm256_blendv_pd(a, c, gt));
+        let mask = _mm256_movemask_pd(gt);
+        if mask != 0 {
+            for j in 0..4 {
+                if mask & (1 << j) != 0 {
+                    idx[i + j] = cand_idx[i + j];
+                }
+            }
+        }
+        i += 4;
+    }
+    crate::portable::max_merge(&mut amp[i..], &mut idx[i..], &cand_amp[i..], &cand_idx[i..]);
+}
+
+/// SIMD [`dot_f32`](crate::dot_f32): a single 128-bit `f32x4` accumulator
+/// performs the scalar kernel's four per-lane running sums (`acc[j] +=
+/// a·b`, one rounded multiply + one rounded add each), combined in the same
+/// `(acc0 + acc1) + (acc2 + acc3)` order — wider accumulators would change
+/// the association and the bits.
+#[target_feature(enable = "avx2")]
+pub unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    let n4 = a.len() & !3;
+    let mut acc = _mm_setzero_ps();
+    let mut i = 0;
+    while i < n4 {
+        let va = _mm_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm_loadu_ps(b.as_ptr().add(i));
+        acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
+        i += 4;
+    }
+    let mut lanes = [0.0f32; 4];
+    _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for j in n4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// AVX2 [`rebin_row`](crate::rebin_row): the `weight·omf` / `weight·frac`
+/// products and `f64 → f32` conversions are vectorised four samples at a
+/// time (multiply and convert round exactly like the scalar expressions);
+/// the histogram scatter stays scalar and in sample order because colliding
+/// bins make the `f32` accumulation order observable.
+#[target_feature(enable = "avx2")]
+pub unsafe fn rebin_row(
+    row: &mut [f32],
+    weights: &[f64],
+    offsets: &[u32],
+    indices: &[u8],
+    cell_table: &[u8],
+    out_sentinel: u8,
+    n_o: usize,
+    lut: &SoftBinLut,
+) {
+    let n = weights.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = [
+            indices[i] as usize,
+            indices[i + 1] as usize,
+            indices[i + 2] as usize,
+            indices[i + 3] as usize,
+        ];
+        let w = _mm256_loadu_pd(weights.as_ptr().add(i));
+        let omf = _mm256_set_pd(lut.omf[r[3]], lut.omf[r[2]], lut.omf[r[1]], lut.omf[r[0]]);
+        let frac = _mm256_set_pd(lut.frac[r[3]], lut.frac[r[2]], lut.frac[r[1]], lut.frac[r[0]]);
+        let mut w1 = [0.0f32; 4];
+        let mut w2 = [0.0f32; 4];
+        _mm_storeu_ps(w1.as_mut_ptr(), _mm256_cvtpd_ps(_mm256_mul_pd(w, omf)));
+        _mm_storeu_ps(w2.as_mut_ptr(), _mm256_cvtpd_ps(_mm256_mul_pd(w, frac)));
+        for j in 0..4 {
+            let cell = cell_table[offsets[i + j] as usize];
+            if cell == out_sentinel {
+                continue;
+            }
+            let base = cell as usize * n_o;
+            row[base + lut.lo[r[j]] as usize] += w1[j];
+            row[base + lut.hi[r[j]] as usize] += w2[j];
+        }
+        i += 4;
+    }
+    crate::portable::rebin_row(
+        row,
+        &weights[i..],
+        &offsets[i..],
+        &indices[i..],
+        cell_table,
+        out_sentinel,
+        n_o,
+        lut,
+    );
+}

@@ -1,0 +1,408 @@
+//! Runtime-dispatched SIMD kernels for BB-Align's stage-1 hot path.
+//!
+//! Every kernel exists twice: a **portable** scalar implementation
+//! ([`portable`]) that is the bit-exact reference, and an **AVX2**
+//! implementation ([`avx2`], `x86_64` only) selected at runtime behind
+//! `is_x86_feature_detected!`. The public free functions dispatch once per
+//! call on a cached [`Dispatch`] value, so callers never need `cfg` or
+//! `unsafe`.
+//!
+//! # Bit-identity contract
+//!
+//! The repo-wide discipline (see DESIGN.md) is that serial, parallel and
+//! vectorised runs produce **bit-identical** results. The AVX2 kernels
+//! uphold it by construction:
+//!
+//! * **No FMA.** A fused multiply-add rounds once where the scalar code
+//!   rounds twice; every vector multiply and add here is a separate,
+//!   individually rounded instruction, exactly like the scalar source.
+//! * **Elementwise ops are order-preserving.** Complex multiply, `|x|`,
+//!   compare-and-blend max and the butterfly update touch each element
+//!   independently, so lane width cannot change any intermediate value.
+//! * **Reductions keep the scalar association.** [`dot_f32`] reuses the
+//!   matcher's fixed 4-lane blocking: a 128-bit `f32x4` accumulator
+//!   performs *the same* four running sums as the scalar `acc[0..4]`
+//!   pattern, combined in the same `(acc0+acc1)+(acc2+acc3)` order.
+//!   (A 256-bit 8-lane accumulator would *not* be bit-identical, which is
+//!   why the dot kernel deliberately stays at 128 bits.)
+//!
+//! The `equivalence` proptests compare every AVX2 kernel against its
+//! portable twin at the `to_bits` level on randomised inputs.
+//!
+//! # Dispatch override
+//!
+//! Set `BBA_SIMD=portable` to force the scalar path (useful to measure
+//! vector speedup or to reproduce portable behaviour on an AVX2 host), or
+//! `BBA_SIMD=avx2` to insist on AVX2 (falls back to portable with no error
+//! if the CPU lacks it). The choice is made once per process and surfaced
+//! via [`active`] / [`name`] so benches and metrics can record it.
+
+#![warn(missing_docs)]
+
+pub mod portable;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+
+use std::sync::OnceLock;
+
+/// Which kernel family the process is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// 256-bit AVX2 kernels (x86_64, detected at runtime).
+    Avx2,
+    /// Portable scalar kernels — the bit-exact reference.
+    Portable,
+}
+
+impl Dispatch {
+    /// Stable lowercase label (`"avx2"` / `"portable"`) for logs, bench
+    /// headers and metrics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dispatch::Avx2 => "avx2",
+            Dispatch::Portable => "portable",
+        }
+    }
+}
+
+/// Whether the CPU supports AVX2 (independent of any `BBA_SIMD` override).
+pub fn avx2_detected() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The dispatch decision for this process: AVX2 when detected, unless
+/// overridden via the `BBA_SIMD` environment variable (read once).
+pub fn active() -> Dispatch {
+    static ACTIVE: OnceLock<Dispatch> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let detected = avx2_detected();
+        match std::env::var("BBA_SIMD").as_deref() {
+            Ok("portable") => Dispatch::Portable,
+            Ok("avx2") if detected => Dispatch::Avx2,
+            Ok("avx2") => Dispatch::Portable, // requested but unavailable
+            _ if detected => Dispatch::Avx2,
+            _ => Dispatch::Portable,
+        }
+    })
+}
+
+/// Label of the active dispatch (`"avx2"` / `"portable"`).
+pub fn name() -> &'static str {
+    active().name()
+}
+
+#[cfg(target_arch = "x86_64")]
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {
+        match active() {
+            // SAFETY: `active()` returns `Avx2` only when
+            // `is_x86_feature_detected!("avx2")` reported support.
+            Dispatch::Avx2 => unsafe { avx2::$name($($arg),*) },
+            Dispatch::Portable => portable::$name($($arg),*),
+        }
+    };
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {{
+        let _ = active();
+        portable::$name($($arg),*)
+    }};
+}
+
+/// Elementwise complex multiply over interleaved `[re, im, re, im, …]`
+/// buffers: `dst[k] = a[k] * b[k]` with the textbook
+/// `(ar·br − ai·bi, ai·br + ar·bi)` rounding (no FMA).
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length or the length is odd.
+pub fn cmul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(dst.len() == a.len() && dst.len() == b.len(), "cmul length mismatch");
+    assert_eq!(dst.len() % 2, 0, "cmul needs interleaved complex data");
+    dispatch!(cmul(dst, a, b))
+}
+
+/// One radix-2 butterfly pass over a split block: for `k` in
+/// `0..lo.len()/2` (complex elements), with `w = twiddles[k·stride]`,
+///
+/// ```text
+/// b     = hi[k] · w
+/// lo[k] = lo[k] + b
+/// hi[k] = lo[k] − b      (original lo[k])
+/// ```
+///
+/// All slices are interleaved complex; `stride` counts complex elements in
+/// `twiddles`.
+///
+/// # Panics
+///
+/// Panics if `lo`/`hi` differ in length, the length is odd, or `twiddles`
+/// is too short for the strided accesses.
+pub fn butterfly(lo: &mut [f64], hi: &mut [f64], twiddles: &[f64], stride: usize) {
+    assert_eq!(lo.len(), hi.len(), "butterfly half length mismatch");
+    assert_eq!(lo.len() % 2, 0, "butterfly needs interleaved complex data");
+    let half = lo.len() / 2;
+    assert!(half == 0 || (half - 1) * stride * 2 + 1 < twiddles.len(), "twiddle table too short");
+    dispatch!(butterfly(lo, hi, twiddles, stride))
+}
+
+/// [`butterfly`] over a *pair* of interleaved streams: element `k` is two
+/// adjacent complexes `[c0, c1]` (4 `f64`s) sharing one twiddle — the
+/// layout of the paired-column 2-D FFT pass. The portable path applies the
+/// scalar butterfly to `c0` then `c1`, so per stream the arithmetic is
+/// identical to transforming each column alone.
+///
+/// # Panics
+///
+/// Panics if `lo`/`hi` differ in length, the length is not a multiple of
+/// 4, or `twiddles` is too short.
+pub fn butterfly_x2(lo: &mut [f64], hi: &mut [f64], twiddles: &[f64], stride: usize) {
+    assert_eq!(lo.len(), hi.len(), "butterfly_x2 half length mismatch");
+    assert_eq!(lo.len() % 4, 0, "butterfly_x2 needs paired complex data");
+    let half = lo.len() / 4;
+    assert!(half == 0 || (half - 1) * stride * 2 + 1 < twiddles.len(), "twiddle table too short");
+    dispatch!(butterfly_x2(lo, hi, twiddles, stride))
+}
+
+/// One whole radix-2 butterfly level over contiguous transform blocks:
+/// `x` (interleaved complex) tiles into blocks of `2·half` complexes, and
+/// each block's halves get the [`butterfly`] update with the same twiddle
+/// table. Hoisting the block loop into the kernel makes one 1-D transform
+/// cost `log₂ N` dispatched calls instead of one per block — at the early
+/// levels (hundreds of one-complex blocks) the per-call overhead would
+/// otherwise dominate the arithmetic. Since blocks tile any multiple of the
+/// transform length, a batch of same-length transforms over a contiguous
+/// buffer (e.g. every row of a 2-D pass) is also one call per level.
+///
+/// # Panics
+///
+/// Panics if `half == 0`, `x.len()` is not a multiple of `4·half`, or
+/// `twiddles` is too short for the strided accesses.
+pub fn fft_pass(x: &mut [f64], twiddles: &[f64], half: usize, stride: usize) {
+    assert!(half >= 1, "fft_pass needs half >= 1");
+    assert_eq!(x.len() % (4 * half), 0, "fft_pass buffer must tile into blocks");
+    assert!((half - 1) * stride * 2 + 1 < twiddles.len(), "twiddle table too short");
+    dispatch!(fft_pass(x, twiddles, half, stride))
+}
+
+/// [`fft_pass`] over paired interleaved streams: blocks of `2·half`
+/// stream-pairs (`8·half` `f64`s), each through the [`butterfly_x2`]
+/// update — one call per level of a paired-column transform.
+///
+/// # Panics
+///
+/// Panics if `half == 0`, `x.len()` is not a multiple of `8·half`, or
+/// `twiddles` is too short for the strided accesses.
+pub fn fft_pass_x2(x: &mut [f64], twiddles: &[f64], half: usize, stride: usize) {
+    assert!(half >= 1, "fft_pass_x2 needs half >= 1");
+    assert_eq!(x.len() % (8 * half), 0, "fft_pass_x2 buffer must tile into blocks");
+    assert!((half - 1) * stride * 2 + 1 < twiddles.len(), "twiddle table too short");
+    dispatch!(fft_pass_x2(x, twiddles, half, stride))
+}
+
+/// Scale-pair amplitude accumulation, the Log-Gabor per-orientation inner
+/// loop: per pixel `i` with packed response `z[i]` (interleaved complex),
+///
+/// * `init && both` → `acc[i] = |re·scale| + |im·scale|`
+/// * `init && !both` → `acc[i] = |re·scale|`
+/// * `!init && both` → `acc[i] = (acc[i] + |re·scale|) + |im·scale|`
+/// * `!init && !both` → `acc[i] = acc[i] + |re·scale|`
+///
+/// exactly the four arms (and add order) of the scalar accumulation in
+/// `bba-signal`.
+///
+/// # Panics
+///
+/// Panics if `z.len() != 2 * acc.len()`.
+pub fn amp_accumulate(acc: &mut [f64], z: &[f64], scale: f64, both: bool, init: bool) {
+    assert_eq!(z.len(), 2 * acc.len(), "amp_accumulate length mismatch");
+    dispatch!(amp_accumulate(acc, z, scale, both, init))
+}
+
+/// Fused final-scale amplitude + running argmax update (the fused-MIM
+/// kernel): per pixel `i`, the orientation amplitude `a` is completed from
+/// the packed response `z[i]` (plus the `partial` accumulator when the
+/// orientation had earlier scale pairs, same add order as
+/// [`amp_accumulate`]), then folded into the running maximum with strict
+/// `>`, so earlier orientations win ties:
+///
+/// ```text
+/// if a > max_amp[i] { max_amp[i] = a; max_idx[i] = o; }
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn amp_max_fold(
+    max_amp: &mut [f64],
+    max_idx: &mut [u8],
+    z: &[f64],
+    scale: f64,
+    both: bool,
+    partial: Option<&[f64]>,
+    o: u8,
+) {
+    assert_eq!(z.len(), 2 * max_amp.len(), "amp_max_fold length mismatch");
+    assert_eq!(max_amp.len(), max_idx.len(), "amp_max_fold index length mismatch");
+    if let Some(p) = partial {
+        assert_eq!(p.len(), max_amp.len(), "amp_max_fold partial length mismatch");
+    }
+    dispatch!(amp_max_fold(max_amp, max_idx, z, scale, both, partial, o))
+}
+
+/// Merges a candidate (amplitude, index) map into the running one with
+/// strict `>` — the serial cross-lane step of the fused MIM. Candidate
+/// lanes must be merged in ascending orientation order for first-index-wins
+/// tie-breaking to match the serial argmax scan.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn max_merge(amp: &mut [f64], idx: &mut [u8], cand_amp: &[f64], cand_idx: &[u8]) {
+    assert!(
+        amp.len() == idx.len() && amp.len() == cand_amp.len() && amp.len() == cand_idx.len(),
+        "max_merge length mismatch"
+    );
+    dispatch!(max_merge(amp, idx, cand_amp, cand_idx))
+}
+
+/// Dot product of two `f32` descriptor rows with the matcher's fixed
+/// 4-lane blocking: four running sums over strided elements, combined as
+/// `(acc0 + acc1) + (acc2 + acc3)`, then a scalar tail. The AVX2 path uses
+/// a single 128-bit `f32x4` accumulator, which performs the identical
+/// per-lane sums.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32 length mismatch");
+    dispatch!(dot_f32(a, b))
+}
+
+/// Per-hypothesis soft-bin lookup table: for every raw MIM orientation
+/// index `r` in `0..n_o`, the precomputed split of the shifted continuous
+/// index into neighbouring bins `lo`/`hi` with blend weights
+/// `omf = 1 − frac` and `frac`.
+///
+/// The *caller* fills the table with the same arithmetic as its scalar
+/// soft-bin helper (one evaluation per raw index instead of one per
+/// sample), so table-driven binning is bit-identical to the scalar path.
+#[derive(Debug, Clone, Default)]
+pub struct SoftBinLut {
+    /// Lower bin per raw index.
+    pub lo: Vec<u16>,
+    /// Upper (wrapped) bin per raw index.
+    pub hi: Vec<u16>,
+    /// `1 − frac` per raw index.
+    pub omf: Vec<f64>,
+    /// Fractional blend weight per raw index.
+    pub frac: Vec<f64>,
+}
+
+impl SoftBinLut {
+    /// An empty table; push one entry per raw orientation index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the split of one raw index.
+    pub fn push(&mut self, lo: usize, hi: usize, frac: f64) {
+        self.lo.push(lo as u16);
+        self.hi.push(hi as u16);
+        self.omf.push(1.0 - frac);
+        self.frac.push(frac);
+    }
+
+    /// Number of raw-index entries.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+}
+
+/// Re-bins one descriptor row (the per-hypothesis describe inner loop):
+/// for each cached sample `(weight, offset, index)`, looks the window
+/// offset up in `cell_table` (skipping `out_sentinel` hits), splits the
+/// orientation via `lut`, and accumulates
+/// `row[cell·n_o + lo] += (weight · omf) as f32` /
+/// `row[cell·n_o + hi] += (weight · frac) as f32` in sample order
+/// (scatters stay scalar and in order — colliding bins make the sum order
+/// observable in `f32`).
+///
+/// # Panics
+///
+/// Panics if the sample slices differ in length, `lut` has fewer entries
+/// than some `indices[i]`, or a table cell points past `row`.
+#[allow(clippy::too_many_arguments)]
+pub fn rebin_row(
+    row: &mut [f32],
+    weights: &[f64],
+    offsets: &[u32],
+    indices: &[u8],
+    cell_table: &[u8],
+    out_sentinel: u8,
+    n_o: usize,
+    lut: &SoftBinLut,
+) {
+    assert!(
+        weights.len() == offsets.len() && weights.len() == indices.len(),
+        "rebin_row sample slices length mismatch"
+    );
+    dispatch!(rebin_row(row, weights, offsets, indices, cell_table, out_sentinel, n_o, lut))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_name_is_stable() {
+        assert_eq!(Dispatch::Avx2.name(), "avx2");
+        assert_eq!(Dispatch::Portable.name(), "portable");
+        assert!(matches!(active(), Dispatch::Avx2 | Dispatch::Portable));
+        assert_eq!(name(), active().name());
+    }
+
+    #[test]
+    fn cmul_matches_hand_computation() {
+        // (1+2i)(3+4i) = -5+10i ; (0.5-1i)(-2+0.25i) = -0.75+2.125i
+        let a = [1.0, 2.0, 0.5, -1.0];
+        let b = [3.0, 4.0, -2.0, 0.25];
+        let mut dst = [0.0; 4];
+        cmul(&mut dst, &a, &b);
+        assert_eq!(dst, [-5.0, 10.0, -0.75, 2.125]);
+    }
+
+    #[test]
+    fn dot_matches_scalar_blocking() {
+        let a: Vec<f32> = (0..11).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        let b: Vec<f32> = (0..11).map(|i| 0.5 - (i as f32) * 0.125).collect();
+        assert_eq!(dot_f32(&a, &b).to_bits(), portable::dot_f32(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn amp_max_fold_ties_keep_first_orientation() {
+        let mut max_amp = vec![f64::NEG_INFINITY; 2];
+        let mut max_idx = vec![0u8; 2];
+        let z = [2.0, 0.0, -1.0, 0.0];
+        amp_max_fold(&mut max_amp, &mut max_idx, &z, 1.0, false, None, 3);
+        amp_max_fold(&mut max_amp, &mut max_idx, &z, 1.0, false, None, 5); // tie
+        assert_eq!(max_amp, vec![2.0, 1.0]);
+        assert_eq!(max_idx, vec![3, 3], "strict > must keep the earlier orientation");
+    }
+}

@@ -1,0 +1,178 @@
+//! Portable scalar kernels — the bit-exact reference implementations.
+//!
+//! Each function here is the plain scalar loop the AVX2 kernels must
+//! reproduce bit-for-bit; the bodies mirror the original call-site loops in
+//! `bba-signal` / `bba-features` verbatim (same expressions, same add
+//! order). They are `pub` so the equivalence proptests (and any non-x86_64
+//! host) can run them directly.
+
+use crate::SoftBinLut;
+
+/// Scalar [`cmul`](crate::cmul).
+pub fn cmul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    for i in 0..dst.len() / 2 {
+        let (ar, ai) = (a[2 * i], a[2 * i + 1]);
+        let (br, bi) = (b[2 * i], b[2 * i + 1]);
+        dst[2 * i] = ar * br - ai * bi;
+        dst[2 * i + 1] = ar * bi + ai * br;
+    }
+}
+
+/// Scalar [`butterfly`](crate::butterfly).
+pub fn butterfly(lo: &mut [f64], hi: &mut [f64], twiddles: &[f64], stride: usize) {
+    for k in 0..lo.len() / 2 {
+        let wr = twiddles[2 * k * stride];
+        let wi = twiddles[2 * k * stride + 1];
+        butterfly_one(lo, hi, 2 * k, wr, wi);
+    }
+}
+
+/// Scalar [`butterfly_x2`](crate::butterfly_x2): per twiddle, stream 0 then
+/// stream 1 — each stream sees exactly the single-stream op sequence.
+pub fn butterfly_x2(lo: &mut [f64], hi: &mut [f64], twiddles: &[f64], stride: usize) {
+    for k in 0..lo.len() / 4 {
+        let wr = twiddles[2 * k * stride];
+        let wi = twiddles[2 * k * stride + 1];
+        butterfly_one(lo, hi, 4 * k, wr, wi);
+        butterfly_one(lo, hi, 4 * k + 2, wr, wi);
+    }
+}
+
+/// One scalar butterfly at interleaved offset `at`, matching the planned
+/// FFT's `b = hi·w; lo' = lo + b; hi' = lo − b` with `Complex::mul`
+/// rounding.
+#[inline]
+fn butterfly_one(lo: &mut [f64], hi: &mut [f64], at: usize, wr: f64, wi: f64) {
+    let (hr, hi_) = (hi[at], hi[at + 1]);
+    let br = hr * wr - hi_ * wi;
+    let bi = hr * wi + hi_ * wr;
+    let (ar, ai) = (lo[at], lo[at + 1]);
+    lo[at] = ar + br;
+    lo[at + 1] = ai + bi;
+    hi[at] = ar - br;
+    hi[at + 1] = ai - bi;
+}
+
+/// Scalar [`fft_pass`](crate::fft_pass): the per-block loop of one whole
+/// butterfly level, each block through the scalar [`butterfly`].
+pub fn fft_pass(x: &mut [f64], twiddles: &[f64], half: usize, stride: usize) {
+    for block in x.chunks_exact_mut(4 * half) {
+        let (lo, hi) = block.split_at_mut(2 * half);
+        butterfly(lo, hi, twiddles, stride);
+    }
+}
+
+/// Scalar [`fft_pass_x2`](crate::fft_pass_x2): one whole butterfly level of
+/// a paired-stream transform, each block through [`butterfly_x2`].
+pub fn fft_pass_x2(x: &mut [f64], twiddles: &[f64], half: usize, stride: usize) {
+    for block in x.chunks_exact_mut(8 * half) {
+        let (lo, hi) = block.split_at_mut(4 * half);
+        butterfly_x2(lo, hi, twiddles, stride);
+    }
+}
+
+/// Scalar [`amp_accumulate`](crate::amp_accumulate).
+pub fn amp_accumulate(acc: &mut [f64], z: &[f64], scale: f64, both: bool, init: bool) {
+    match (init, both) {
+        (true, true) => {
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a = (z[2 * i] * scale).abs() + (z[2 * i + 1] * scale).abs();
+            }
+        }
+        (true, false) => {
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a = (z[2 * i] * scale).abs();
+            }
+        }
+        (false, true) => {
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a = (*a + (z[2 * i] * scale).abs()) + (z[2 * i + 1] * scale).abs();
+            }
+        }
+        (false, false) => {
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a += (z[2 * i] * scale).abs();
+            }
+        }
+    }
+}
+
+/// Scalar [`amp_max_fold`](crate::amp_max_fold).
+pub fn amp_max_fold(
+    max_amp: &mut [f64],
+    max_idx: &mut [u8],
+    z: &[f64],
+    scale: f64,
+    both: bool,
+    partial: Option<&[f64]>,
+    o: u8,
+) {
+    for i in 0..max_amp.len() {
+        let re = (z[2 * i] * scale).abs();
+        let a = match (partial, both) {
+            (None, true) => re + (z[2 * i + 1] * scale).abs(),
+            (None, false) => re,
+            (Some(p), true) => (p[i] + re) + (z[2 * i + 1] * scale).abs(),
+            (Some(p), false) => p[i] + re,
+        };
+        if a > max_amp[i] {
+            max_amp[i] = a;
+            max_idx[i] = o;
+        }
+    }
+}
+
+/// Scalar [`max_merge`](crate::max_merge).
+pub fn max_merge(amp: &mut [f64], idx: &mut [u8], cand_amp: &[f64], cand_idx: &[u8]) {
+    for i in 0..amp.len() {
+        if cand_amp[i] > amp[i] {
+            amp[i] = cand_amp[i];
+            idx[i] = cand_idx[i];
+        }
+    }
+}
+
+/// Scalar [`dot_f32`](crate::dot_f32) — the matcher's original 4-lane
+/// blocked kernel, verbatim.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    let n4 = a.len() & !3;
+    let (a4, ar) = a.split_at(n4);
+    let (b4, br) = b.split_at(n4);
+    let mut acc = [0.0f32; 4];
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ar.iter().zip(br) {
+        s += x * y;
+    }
+    s
+}
+
+/// Scalar [`rebin_row`](crate::rebin_row): table-driven soft binning with
+/// in-order scalar scatter.
+#[allow(clippy::too_many_arguments)]
+pub fn rebin_row(
+    row: &mut [f32],
+    weights: &[f64],
+    offsets: &[u32],
+    indices: &[u8],
+    cell_table: &[u8],
+    out_sentinel: u8,
+    n_o: usize,
+    lut: &SoftBinLut,
+) {
+    for ((&w, &off), &r) in weights.iter().zip(offsets).zip(indices) {
+        let cell = cell_table[off as usize];
+        if cell == out_sentinel {
+            continue;
+        }
+        let r = r as usize;
+        let base = cell as usize * n_o;
+        row[base + lut.lo[r] as usize] += (w * lut.omf[r]) as f32;
+        row[base + lut.hi[r] as usize] += (w * lut.frac[r]) as f32;
+    }
+}
