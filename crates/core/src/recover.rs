@@ -338,6 +338,26 @@ impl BbAlign {
         PerceptionFrame::new(bev, boxes)
     }
 
+    /// Extracts a global place descriptor for `frame` (see `bba-place`),
+    /// reusing the engine's shared Log-Gabor bank and pooled FFT
+    /// workspaces — the same plans and scratch stage 1 runs on, so the
+    /// steady-state filtering allocates nothing per frame. Callers that
+    /// already hold a [`MaxIndexMap`] (a frame that just ran stage 1)
+    /// should use [`bba_place::PlaceDescriptor::from_mim`] directly and
+    /// skip the recomputation entirely.
+    pub fn place_descriptor(
+        &self,
+        frame: &PerceptionFrame,
+        config: &bba_place::PlaceConfig,
+    ) -> bba_place::PlaceDescriptor {
+        let _span = self.obs.span("place.extract");
+        let bank = self.bank();
+        let mut ws = self.workspaces.take(&self.obs);
+        let mim = MaxIndexMap::compute_with_workspace(frame.bev().grid(), bank, &mut ws);
+        self.workspaces.put(ws, &self.obs);
+        bba_place::PlaceDescriptor::from_mim(&mim, config)
+    }
+
     /// Stage 1: BV image matching (Algorithm 1, lines 5–11).
     ///
     /// Returns the coarse other→ego alignment.

@@ -85,6 +85,40 @@ impl fmt::Display for CodecError {
 
 impl Error for CodecError {}
 
+/// Why a message could not be encoded.
+///
+/// Encoding rejects payloads the wire format cannot represent instead of
+/// silently truncating header fields: `chunk_count` and `payload_len` are
+/// `u16` on the wire, so a payload needing more than `u16::MAX` chunks
+/// would previously wrap the count and produce datagrams whose headers
+/// lie about the message geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The payload needs more chunks than the `u16` wire field can
+    /// address at this MTU.
+    TooManyChunks {
+        /// Chunks the payload would need.
+        needed: usize,
+        /// Largest payload (bytes) encodable at this MTU.
+        max_payload: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooManyChunks { needed, max_payload } => write!(
+                f,
+                "message needs {needed} chunks (wire max {}); \
+                 at most {max_payload} payload bytes fit at this MTU",
+                u16::MAX
+            ),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
 /// FNV-1a over the header prefix and payload.
 fn checksum(header_prefix: &[u8], payload: &[u8]) -> u32 {
     let mut h = 0x811C_9DC5u32;
@@ -112,7 +146,10 @@ fn encode_raw(
     chunk_count: u16,
     payload: &[u8],
 ) -> Vec<u8> {
-    debug_assert!(payload.len() <= u16::MAX as usize);
+    // Upheld by `max_chunk_payload`'s clamp; a hard assert (one branch per
+    // datagram) so a silently truncated `payload_len` is impossible even
+    // in release builds.
+    assert!(payload.len() <= u16::MAX as usize, "chunk payload exceeds u16 length field");
     let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -135,20 +172,34 @@ fn encode_raw(
 /// An empty payload still produces one (empty) datagram so the message
 /// exists on the wire.
 ///
+/// # Errors
+///
+/// Returns [`EncodeError::TooManyChunks`] when the payload needs more
+/// chunks than the `u16` wire field can address at this MTU (previously
+/// this wrapped the count and produced lying headers).
+///
 /// # Panics
 ///
-/// Panics if `mtu < MIN_MTU` or the payload needs more than `u16::MAX`
-/// chunks.
-pub fn encode_message(msg_id: u32, payload: &[u8], mtu: usize) -> Vec<Vec<u8>> {
+/// Panics if `mtu < MIN_MTU`.
+pub fn encode_message(
+    msg_id: u32,
+    payload: &[u8],
+    mtu: usize,
+) -> Result<Vec<Vec<u8>>, EncodeError> {
     let chunk_size = max_chunk_payload(mtu);
     let chunk_count = payload.len().div_ceil(chunk_size).max(1);
-    assert!(chunk_count <= u16::MAX as usize, "message needs {chunk_count} chunks");
-    (0..chunk_count)
+    if chunk_count > u16::MAX as usize {
+        return Err(EncodeError::TooManyChunks {
+            needed: chunk_count,
+            max_payload: chunk_size * u16::MAX as usize,
+        });
+    }
+    Ok((0..chunk_count)
         .map(|i| {
             let chunk = &payload[i * chunk_size..((i + 1) * chunk_size).min(payload.len())];
             encode_raw(DatagramKind::Data, msg_id, i as u16, chunk_count as u16, chunk)
         })
-        .collect()
+        .collect())
 }
 
 /// Encodes an acknowledgement for `msg_id`.
@@ -215,7 +266,7 @@ mod tests {
     #[test]
     fn roundtrip_single_datagram() {
         let p = payload(100);
-        let grams = encode_message(7, &p, 1200);
+        let grams = encode_message(7, &p, 1200).unwrap();
         assert_eq!(grams.len(), 1);
         let d = decode_datagram(&grams[0]).unwrap();
         assert_eq!(d.kind, DatagramKind::Data);
@@ -228,7 +279,7 @@ mod tests {
     fn roundtrip_chunked_message_reassembles() {
         let p = payload(5000);
         let mtu = 200;
-        let grams = encode_message(42, &p, mtu);
+        let grams = encode_message(42, &p, mtu).unwrap();
         assert_eq!(grams.len(), 5000usize.div_ceil(mtu - HEADER_BYTES));
         let mut back = Vec::new();
         for (i, g) in grams.iter().enumerate() {
@@ -243,7 +294,7 @@ mod tests {
 
     #[test]
     fn empty_message_still_produces_one_datagram() {
-        let grams = encode_message(1, &[], 64);
+        let grams = encode_message(1, &[], 64).unwrap();
         assert_eq!(grams.len(), 1);
         let d = decode_datagram(&grams[0]).unwrap();
         assert!(d.payload.is_empty());
@@ -260,14 +311,14 @@ mod tests {
 
     #[test]
     fn corrupt_payload_byte_is_rejected() {
-        let mut g = encode_message(3, &payload(300), 400).remove(0);
+        let mut g = encode_message(3, &payload(300), 400).unwrap().remove(0);
         g[HEADER_BYTES + 57] ^= 0x40;
         assert_eq!(decode_datagram(&g).unwrap_err(), CodecError::BadChecksum);
     }
 
     #[test]
     fn corrupt_header_fields_are_rejected() {
-        let good = encode_message(3, &payload(40), 400).remove(0);
+        let good = encode_message(3, &payload(40), 400).unwrap().remove(0);
         let mutate = |i: usize, x: u8| {
             let mut g = good.clone();
             g[i] ^= x;
@@ -286,11 +337,34 @@ mod tests {
     fn truncation_and_garbage_are_rejected() {
         assert_eq!(decode_datagram(&[]).unwrap_err(), CodecError::Truncated);
         assert_eq!(decode_datagram(&[0u8; 5]).unwrap_err(), CodecError::Truncated);
-        let g = encode_message(3, &payload(40), 400).remove(0);
+        let g = encode_message(3, &payload(40), 400).unwrap().remove(0);
         assert_eq!(decode_datagram(&g[..g.len() - 1]).unwrap_err(), CodecError::Truncated);
         let mut long = g.clone();
         long.push(0);
         assert_eq!(decode_datagram(&long).unwrap_err(), CodecError::LengthMismatch);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_not_truncated() {
+        // Regression: `chunk_count as u16` used to wrap for payloads
+        // needing more than 65535 chunks, emitting datagrams whose
+        // headers lied about the message geometry. At MIN_MTU each chunk
+        // carries one byte, so 65536 bytes crosses the line cheaply.
+        let too_big = vec![0u8; u16::MAX as usize + 1];
+        let err = encode_message(1, &too_big, MIN_MTU).unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::TooManyChunks {
+                needed: u16::MAX as usize + 1,
+                max_payload: u16::MAX as usize,
+            }
+        );
+        // One byte under the line still encodes, with the maximum count.
+        let at_limit = vec![0u8; u16::MAX as usize];
+        let grams = encode_message(1, &at_limit, MIN_MTU).unwrap();
+        assert_eq!(grams.len(), u16::MAX as usize);
+        let last = decode_datagram(grams.last().unwrap()).unwrap();
+        assert_eq!((last.chunk_index, last.chunk_count), (u16::MAX - 1, u16::MAX));
     }
 
     #[test]

@@ -223,7 +223,12 @@ impl V2vHarness {
             let other_frame = perception_frame(&aligner, &pair.other);
 
             // The transmitting car ships its frame at the tick timestamp.
-            transmitter.send_message(t, &wire::encode_frame(&other_frame), &mut forward);
+            // Perception frames are far below the wire's chunk-count
+            // ceiling at any valid MTU, so an encode failure here is a
+            // programming error, not a runtime condition.
+            transmitter
+                .send_message(t, &wire::encode_frame(&other_frame), &mut forward)
+                .expect("perception frame exceeds wire capacity");
 
             // Pump both endpoints through the tick so acks and
             // retransmissions get their chance before the next frame.

@@ -36,6 +36,8 @@ pub mod harness;
 pub mod session;
 
 pub use channel::{ChannelConfig, ChannelStats, SimChannel};
-pub use codec::{decode_datagram, encode_ack, encode_message, CodecError, Datagram, DatagramKind};
+pub use codec::{
+    decode_datagram, encode_ack, encode_message, CodecError, Datagram, DatagramKind, EncodeError,
+};
 pub use harness::{FrameOutcome, HarnessConfig, HarnessReport, PoseSource, V2vHarness};
 pub use session::{LinkEndpoint, PeerState, ReceivedMessage, SessionConfig, SessionStats};

@@ -19,7 +19,9 @@
 //! `Degraded` / `Lost` as the age of the last complete frame grows.
 
 use crate::channel::SimChannel;
-use crate::codec::{decode_datagram, encode_ack, encode_message, Datagram, DatagramKind};
+use crate::codec::{
+    decode_datagram, encode_ack, encode_message, Datagram, DatagramKind, EncodeError,
+};
 use bba_obs::Recorder;
 use std::collections::HashMap;
 
@@ -135,9 +137,12 @@ pub struct LinkEndpoint {
     next_msg_id: u32,
     pending: Vec<PendingMessage>,
     reassembly: HashMap<u32, Reassembly>,
-    /// Recently completed incoming msg_ids (ring-buffered) so duplicate or
-    /// retransmitted chunks of an already-delivered message are ignored.
-    completed: Vec<u32>,
+    /// Recently completed incoming msg_ids with their completion times
+    /// (ring-buffered *and* time-evicted) so duplicate or retransmitted
+    /// chunks of an already-delivered message are ignored — but a fresh
+    /// message reusing the id after `next_msg_id` wraps `u32` is not
+    /// misclassified as a duplicate.
+    completed: Vec<(u32, f64)>,
     last_complete_at: Option<f64>,
     stats: SessionStats,
     /// Observability sink (disabled by default — and then free).
@@ -146,6 +151,13 @@ pub struct LinkEndpoint {
 
 /// How many completed msg_ids the duplicate filter remembers.
 const COMPLETED_MEMORY: usize = 64;
+
+/// How long (s) a completed msg_id stays in the duplicate filter. A
+/// retransmit of a completed message cannot arrive after the sender's
+/// retry budget is exhausted, so anything older is not a duplicate — it
+/// is a fresh message whose id collided after the `u32` sequence space
+/// wrapped, and suppressing it would drop live frames forever.
+const COMPLETED_TTL: f64 = 3.0;
 
 impl LinkEndpoint {
     /// Creates an endpoint.
@@ -199,15 +211,27 @@ impl LinkEndpoint {
 
     /// Sends an application payload: stamps it with `now`, chunks it, and
     /// offers every datagram to `tx`. Returns the assigned sequence number.
-    pub fn send_message(&mut self, now: f64, payload: &[u8], tx: &mut SimChannel) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when the payload cannot be represented on
+    /// the wire at the configured MTU (too many chunks for the `u16`
+    /// header field). Nothing is transmitted and no sequence number is
+    /// consumed in that case.
+    pub fn send_message(
+        &mut self,
+        now: f64,
+        payload: &[u8],
+        tx: &mut SimChannel,
+    ) -> Result<u32, EncodeError> {
         let msg_id = self.next_msg_id;
-        self.next_msg_id = self.next_msg_id.wrapping_add(1);
         // In-band sender timestamp: staleness must survive reassembly on
         // the far side without a side channel.
         let mut stamped = Vec::with_capacity(8 + payload.len());
         stamped.extend_from_slice(&now.to_le_bytes());
         stamped.extend_from_slice(payload);
-        let datagrams = encode_message(msg_id, &stamped, self.config.mtu);
+        let datagrams = encode_message(msg_id, &stamped, self.config.mtu)?;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
         for d in &datagrams {
             tx.send(now, d.clone());
         }
@@ -220,7 +244,7 @@ impl LinkEndpoint {
             attempts: 1,
             next_retry: now + self.config.ack_timeout,
         });
-        msg_id
+        Ok(msg_id)
     }
 
     /// Drives the session at virtual time `now`: drains `rx` (acks clear
@@ -281,11 +305,16 @@ impl LinkEndpoint {
             self.obs.incr("link.malformed_datagrams");
             return None;
         }
+        // Evict dedup entries past their TTL before consulting the
+        // window: after `next_msg_id` wraps the `u32` space, a fresh
+        // message can legitimately reuse an old id, and only *recent*
+        // completions can still produce genuine duplicates.
+        self.completed.retain(|&(_, t)| at - t <= COMPLETED_TTL);
         // Acks mean "I have the whole message" — they are only sent once
         // reassembly completes. Acking individual chunks would let the
         // sender clear its pending entry after one of many chunks landed
         // and never retransmit the rest.
-        if self.completed.contains(&d.msg_id) {
+        if self.completed.iter().any(|&(id, _)| id == d.msg_id) {
             // Re-ack duplicates of completed messages: the original ack
             // may have been the datagram the channel dropped.
             tx.send(at, encode_ack(d.msg_id));
@@ -301,9 +330,14 @@ impl LinkEndpoint {
             received: 0,
             started_at: at,
         });
-        if entry.chunks.len() != count {
-            // Chunk count disagrees with the buffer: a stale collision on a
-            // wrapped msg_id. Start over with the new geometry.
+        if entry.chunks.len() != count || at - entry.started_at > self.config.stale_after {
+            // Chunk count disagrees with the buffer, or the buffer has
+            // been incomplete for longer than any frame stays fresh:
+            // either way this is a stale collision on a wrapped msg_id.
+            // Start over rather than merging chunks of two different
+            // messages into one corrupt payload (the geometry can match
+            // by coincidence; per-datagram checksums cannot catch a
+            // cross-message merge).
             *entry = Reassembly { chunks: vec![None; count], received: 0, started_at: at };
         }
         let slot = &mut entry.chunks[d.chunk_index as usize];
@@ -319,7 +353,7 @@ impl LinkEndpoint {
         }
 
         let entry = self.reassembly.remove(&d.msg_id).expect("buffer exists");
-        self.remember_completed(d.msg_id);
+        self.remember_completed(d.msg_id, at);
         tx.send(at, encode_ack(d.msg_id));
         self.stats.acks_sent += 1;
         self.obs.incr("link.acks_sent");
@@ -354,11 +388,18 @@ impl LinkEndpoint {
         })
     }
 
-    fn remember_completed(&mut self, msg_id: u32) {
+    fn remember_completed(&mut self, msg_id: u32, at: f64) {
         if self.completed.len() >= COMPLETED_MEMORY {
             self.completed.remove(0);
         }
-        self.completed.push(msg_id);
+        self.completed.push((msg_id, at));
+    }
+
+    /// Test hook: forces the outgoing sequence counter, so wraparound
+    /// behaviour is exercisable without sending 2³² messages.
+    #[cfg(test)]
+    fn set_next_msg_id(&mut self, id: u32) {
+        self.next_msg_id = id;
     }
 
     fn retransmit_due(&mut self, now: f64, tx: &mut SimChannel) {
@@ -397,6 +438,10 @@ impl LinkEndpoint {
             }
             keep
         });
+        // The dedup window ages out too (see `COMPLETED_TTL`): entries
+        // older than any possible retransmit must not suppress fresh
+        // messages that reuse the id after the sequence space wraps.
+        self.completed.retain(|&(_, t)| now - t <= COMPLETED_TTL);
     }
 }
 
@@ -422,7 +467,7 @@ mod tests {
         let mut b = LinkEndpoint::new(SessionConfig::default());
         let (mut ab, mut ba) = ideal_pair(1);
         let p = payload(5000);
-        let id = a.send_message(0.0, &p, &mut ab);
+        let id = a.send_message(0.0, &p, &mut ab).unwrap();
         let got = b.pump(0.01, &mut ab, &mut ba);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].msg_id, id);
@@ -443,7 +488,7 @@ mod tests {
         let mut ab = SimChannel::new(ChannelConfig { loss: 1.0, ..ChannelConfig::ideal() }, 2);
         let mut ba = SimChannel::new(ChannelConfig::ideal(), 3);
         let p = payload(300);
-        a.send_message(0.0, &p, &mut ab);
+        a.send_message(0.0, &p, &mut ab).unwrap();
         assert!(b.pump(0.02, &mut ab, &mut ba).is_empty());
         // Heal the channel before the first retransmit timer fires.
         ab.config_mut().loss = 0.0;
@@ -460,7 +505,7 @@ mod tests {
         let mut a = LinkEndpoint::new(cfg);
         let mut ab = SimChannel::new(ChannelConfig { loss: 1.0, ..ChannelConfig::ideal() }, 4);
         let mut ba = SimChannel::new(ChannelConfig::ideal(), 5);
-        a.send_message(0.0, &payload(100), &mut ab);
+        a.send_message(0.0, &payload(100), &mut ab).unwrap();
         for k in 1..100 {
             a.pump(k as f64 * 0.1, &mut ba, &mut ab);
         }
@@ -478,7 +523,7 @@ mod tests {
         let mut ab =
             SimChannel::new(ChannelConfig { latency_mean: 1.0, ..ChannelConfig::ideal() }, 6);
         let mut ba = SimChannel::new(ChannelConfig::ideal(), 7);
-        a.send_message(0.0, &payload(100), &mut ab);
+        a.send_message(0.0, &payload(100), &mut ab).unwrap();
         let got = b.pump(1.5, &mut ab, &mut ba);
         assert!(got.is_empty());
         assert_eq!(b.stats().messages_stale, 1);
@@ -493,7 +538,7 @@ mod tests {
         let mut b = LinkEndpoint::new(cfg);
         let mut ab = SimChannel::new(ChannelConfig { duplicate: 1.0, ..ChannelConfig::ideal() }, 8);
         let mut ba = SimChannel::new(ChannelConfig::ideal(), 9);
-        a.send_message(0.0, &payload(4000), &mut ab);
+        a.send_message(0.0, &payload(4000), &mut ab).unwrap();
         let got = b.pump(0.1, &mut ab, &mut ba);
         assert_eq!(got.len(), 1);
         assert!(b.stats().duplicate_datagrams > 0);
@@ -506,13 +551,13 @@ mod tests {
         let mut b = LinkEndpoint::new(cfg);
         let (mut ab, mut ba) = ideal_pair(10);
         assert_eq!(b.peer_state(0.0), PeerState::Discovering);
-        a.send_message(0.0, &payload(10), &mut ab);
+        a.send_message(0.0, &payload(10), &mut ab).unwrap();
         b.pump(0.01, &mut ab, &mut ba);
         assert_eq!(b.peer_state(0.01), PeerState::Synced);
         assert_eq!(b.peer_state(0.01 + cfg.degraded_after + 0.1), PeerState::Degraded);
         assert_eq!(b.peer_state(0.01 + cfg.lost_after + 0.1), PeerState::Lost);
         // A new frame resynchronises.
-        a.send_message(5.0, &payload(10), &mut ab);
+        a.send_message(5.0, &payload(10), &mut ab).unwrap();
         b.pump(5.01, &mut ab, &mut ba);
         assert_eq!(b.peer_state(5.01), PeerState::Synced);
     }
@@ -559,7 +604,81 @@ mod tests {
         let mut a = LinkEndpoint::new(SessionConfig::default());
         let (mut ab, _) = ideal_pair(11);
         let ids: Vec<u32> =
-            (0..5).map(|k| a.send_message(k as f64, &payload(10), &mut ab)).collect();
+            (0..5).map(|k| a.send_message(k as f64, &payload(10), &mut ab).unwrap()).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_without_consuming_sequence() {
+        let mut a = LinkEndpoint::new(SessionConfig { mtu: 19, ..SessionConfig::default() });
+        let (mut ab, _) = ideal_pair(14);
+        // One payload byte per datagram at MTU 19; the 8-byte timestamp
+        // stamp pushes this over the 65535-chunk wire limit.
+        let err = a.send_message(0.0, &payload(u16::MAX as usize), &mut ab);
+        assert!(err.is_err());
+        assert_eq!(a.stats().messages_sent, 0);
+        assert!(a.pending.is_empty());
+        // The sequence number was not consumed by the failed send.
+        assert_eq!(a.send_message(0.0, &payload(10), &mut ab).unwrap(), 0);
+    }
+
+    #[test]
+    fn wrapped_msg_id_is_fresh_after_dedup_ttl() {
+        // Regression: the duplicate filter kept completed msg_ids until
+        // 64 newer completions pushed them out. On a sparse link that is
+        // forever — so when `next_msg_id` wraps the u32 space and a fresh
+        // message legitimately reuses an id, it was re-acked as a
+        // duplicate and never delivered.
+        let cfg = SessionConfig::default();
+        let mut a = LinkEndpoint::new(cfg);
+        let mut b = LinkEndpoint::new(cfg);
+        let (mut ab, mut ba) = ideal_pair(15);
+        // The sender is one message away from wrapping.
+        a.set_next_msg_id(u32::MAX);
+        let first = payload(100);
+        assert_eq!(a.send_message(0.0, &first, &mut ab).unwrap(), u32::MAX);
+        assert_eq!(b.pump(0.01, &mut ab, &mut ba).len(), 1);
+        a.pump(0.02, &mut ba, &mut ab);
+        assert_eq!(a.send_message(0.03, &payload(7), &mut ab).unwrap(), 0);
+        assert_eq!(b.pump(0.04, &mut ab, &mut ba).len(), 1);
+        a.pump(0.05, &mut ba, &mut ab);
+        // A wrapped sender reuses id u32::MAX long after the dedup TTL.
+        a.set_next_msg_id(u32::MAX);
+        let reused = payload(60);
+        let t = 10.0;
+        assert_eq!(a.send_message(t, &reused, &mut ab).unwrap(), u32::MAX);
+        let got = b.pump(t + 0.01, &mut ab, &mut ba);
+        assert_eq!(got.len(), 1, "fresh message on a wrapped id must deliver");
+        assert_eq!(got[0].payload, reused);
+        assert_eq!(b.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn stale_reassembly_restarts_instead_of_merging_messages() {
+        // Regression: a wrapped msg_id colliding with a stale half-built
+        // buffer of the *same* chunk geometry used to merge chunks of two
+        // different messages into one corrupt payload. The stale buffer
+        // must be restarted, not appended to.
+        let cfg = SessionConfig::default();
+        let mut b = LinkEndpoint::new(cfg);
+        let (_, mut ba) = ideal_pair(16);
+        let chunk = |index: u16, payload: Vec<u8>| Datagram {
+            kind: DatagramKind::Data,
+            msg_id: 5,
+            chunk_index: index,
+            chunk_count: 2,
+            payload,
+        };
+        // Chunk 0 of the old message arrives; chunk 1 never does.
+        assert!(b.handle_data(0.0, chunk(0, 0.0f64.to_le_bytes().to_vec()), &mut ba).is_none());
+        // Long past `stale_after`, a fresh message reuses the id with the
+        // same geometry. Both of its chunks arrive.
+        let t = 10.0;
+        let fresh_body = vec![42u8; 16];
+        assert!(b.handle_data(t, chunk(0, t.to_le_bytes().to_vec()), &mut ba).is_none());
+        let got = b.handle_data(t + 0.001, chunk(1, fresh_body.clone()), &mut ba);
+        let msg = got.expect("fresh message must deliver");
+        assert_eq!(msg.payload, fresh_body);
+        assert_eq!(msg.sent_at, t);
     }
 }

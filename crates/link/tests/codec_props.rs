@@ -29,7 +29,7 @@ proptest! {
         mtu in 19usize..300,
         msg_id in any::<u32>(),
     ) {
-        let datagrams = encode_message(msg_id, &payload, mtu);
+        let datagrams = encode_message(msg_id, &payload, mtu).expect("within wire limits");
         prop_assert!(!datagrams.is_empty());
         for d in &datagrams {
             prop_assert!(d.len() <= mtu, "datagram {} exceeds mtu {}", d.len(), mtu);
@@ -45,7 +45,7 @@ proptest! {
         pos in 0.0..1.0f64,
         flip in 1u32..256,
     ) {
-        let datagrams = encode_message(7, &payload, mtu);
+        let datagrams = encode_message(7, &payload, mtu).expect("within wire limits");
         let victim_idx = ((which * datagrams.len() as f64) as usize).min(datagrams.len() - 1);
         let mut victim = datagrams[victim_idx].clone();
         let idx = ((pos * victim.len() as f64) as usize).min(victim.len() - 1);
@@ -62,7 +62,7 @@ proptest! {
         mtu in 19usize..200,
         cut in 0.0..1.0f64,
     ) {
-        let datagrams = encode_message(3, &payload, mtu);
+        let datagrams = encode_message(3, &payload, mtu).expect("within wire limits");
         let d = &datagrams[0];
         let keep = (cut * d.len() as f64) as usize;
         if keep < d.len() {

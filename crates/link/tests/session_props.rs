@@ -68,7 +68,7 @@ proptest! {
         let mut delivered: Vec<(u32, Vec<u8>)> = Vec::new();
         let mut now = 0.0;
         for p in &payloads {
-            let id = a.send_message(now, p, &mut ab);
+            let id = a.send_message(now, p, &mut ab).expect("payload within wire limits");
             sent.push((id, p.clone()));
             // Pump well past the retry budget so retransmissions get every
             // chance; whatever still fails to land is legitimately lost.

@@ -364,14 +364,21 @@ impl HistSummary {
             return None;
         }
         let target = q.clamp(0.0, 1.0) * self.count as f64;
-        let mut cum = 0.0;
+        // Accumulate the rank as an integer: summing bucket counts in
+        // floating point drifts for count-heavy histograms, and a `cum`
+        // that lands below `target` in the final occupied bucket used to
+        // fall through to `max` — making quantiles non-monotonic near
+        // q = 1. Integer `cum` reaches exactly `self.count`, and
+        // `target <= count as f64` by construction, so the last occupied
+        // bucket always satisfies the comparison.
+        let mut cum: u64 = 0;
         let mut lower = self.min;
         for &(bound, n) in &self.buckets {
             let upper = if bound.is_finite() { bound.min(self.max) } else { self.max };
             if n > 0 {
-                let next = cum + n as f64;
-                if next >= target {
-                    let frac = ((target - cum) / n as f64).clamp(0.0, 1.0);
+                let next = cum + n;
+                if next as f64 >= target {
+                    let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
                     let lo = lower.clamp(self.min, self.max);
                     let hi = upper.max(lo);
                     return Some(lo + (hi - lo) * frac);

@@ -1,0 +1,98 @@
+//! Exactness and monotonicity of [`HistSummary::quantile`] on
+//! count-heavy histograms.
+//!
+//! The cumulative rank used to be accumulated in floating point; above
+//! ~2⁵³ recordings the per-bucket additions stop being exact, the
+//! accumulated rank drifts below the target, and a near-1 quantile slid
+//! past its true bucket — in the worst case falling through to `max`
+//! even though the target rank lay many buckets earlier. The fix keeps
+//! the rank as an integer, which makes the bucket walk exact for any
+//! `u64` count.
+
+use bba_obs::HistSummary;
+use proptest::prelude::*;
+
+/// Builds a consistent histogram over unit-width buckets `(i, i+1]` with
+/// the given counts, plus an empty overflow bucket.
+fn histogram(counts: &[u64], min: f64, max: f64) -> HistSummary {
+    let mut buckets: Vec<(f64, u64)> =
+        counts.iter().enumerate().map(|(i, &n)| ((i + 1) as f64, n)).collect();
+    buckets.push((f64::INFINITY, 0));
+    let count: u64 = counts.iter().sum();
+    HistSummary { name: "q".into(), count, sum: 0.0, min, max, buckets }
+}
+
+#[test]
+fn huge_counts_do_not_slide_quantiles_past_their_bucket() {
+    // Regression: 2^53 recordings in the first eight buckets, then ten
+    // single recordings. Float accumulation gets stuck at 2^53 (adding 1
+    // rounds back down), so any rank beyond it used to fall through to
+    // `max` (17.5) — even for a target rank just 2.5 past the pile,
+    // whose true home is the tenth bucket.
+    let mut counts = vec![1u64 << 50; 8];
+    counts.extend([1u64; 10]);
+    let h = histogram(&counts, 0.5, 17.5);
+    assert_eq!(h.count, (1u64 << 53) + 10);
+
+    let q = ((1u64 << 53) as f64 + 2.5) / h.count as f64;
+    let v = h.quantile(q).expect("non-empty");
+    assert!(v <= 10.0, "rank 2^53+2.5 lies in the tenth bucket, got {v}");
+
+    // The extreme tail still reaches the top of the recorded range…
+    assert_eq!(h.quantile(1.0), Some(17.5));
+    // …and quantiles stay monotonic on the approach.
+    let grid = [0.0, 0.5, 0.9, q, 1.0 - 1e-16, 1.0 - f64::EPSILON, 1.0];
+    let vals: Vec<f64> = grid.iter().map(|&g| h.quantile(g).unwrap()).collect();
+    for w in vals.windows(2) {
+        assert!(w[0] <= w[1], "non-monotonic quantiles: {vals:?}");
+    }
+}
+
+proptest! {
+    /// For arbitrary (including astronomically count-heavy) histograms:
+    /// quantiles exist, stay inside `[min, max]`, are monotonic in `q`
+    /// up to and including `q = 1 − ε`, and land in exactly the bucket
+    /// that holds the target rank.
+    #[test]
+    fn quantile_is_monotonic_and_bucket_exact(
+        counts in prop::collection::vec(0u64..(1u64 << 53), 1..12),
+        eps in 1e-18f64..1e-9,
+        q in 0.0f64..1.0,
+    ) {
+        let occupied: Vec<usize> =
+            (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+        prop_assume!(!occupied.is_empty());
+        let last = *occupied.last().unwrap();
+        let max = (last + 1) as f64 - 0.25;
+        let h = histogram(&counts, 0.5, max);
+
+        let grid = [0.0, q * 0.5, q, 1.0 - eps, 1.0];
+        let vals: Vec<f64> = grid
+            .iter()
+            .map(|&g| h.quantile(g).expect("non-empty histogram"))
+            .collect();
+        for v in &vals {
+            prop_assert!(*v >= h.min && *v <= h.max, "{v} outside [{}, {}]", h.min, h.max);
+        }
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1], "non-monotonic: {vals:?}");
+        }
+
+        // Bucket exactness: the result must not exceed the clamped upper
+        // bound of the bucket that holds the target rank (integer walk).
+        let target = q * h.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            cum += n;
+            if n > 0 && cum as f64 >= target {
+                let upper = ((i + 1) as f64).min(max);
+                let v = h.quantile(q).unwrap();
+                prop_assert!(
+                    v <= upper + 1e-9,
+                    "quantile({q}) = {v} escaped bucket {i} (upper {upper})"
+                );
+                break;
+            }
+        }
+    }
+}

@@ -14,6 +14,13 @@
 //! Vehicle indexing: `0` is the scenario's ego car, `1` the scenario's
 //! other car, `2..N` the appended platoon cars ordered back-to-front
 //! behind the ego.
+//!
+//! [`FleetPlacement`] selects the layout of the appended cars: a single
+//! coherent [`FleetPlacement::Platoon`] (every consecutive pair
+//! overlaps), or well-separated [`FleetPlacement::Clusters`] whose
+//! cross-cluster pairs are guaranteed disjoint — the ground truth a
+//! place-recognition ROC sweep needs, exposed via
+//! [`FleetScenario::bev_overlap_fraction`].
 
 use crate::objects::{ObjectKind, ObstacleId};
 use crate::scenario::{Scenario, ScenarioConfig, EGO_ARC_FRACTION, LANE_HALF_OFFSET};
@@ -22,6 +29,21 @@ use crate::world::{DynamicVehicle, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// How the appended (index ≥ 2) agent cars are placed along the road.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FleetPlacement {
+    /// One coherent column behind the ego at uniform spacing — every
+    /// consecutive pair overlaps heavily. The original fleet layout.
+    #[default]
+    Platoon,
+    /// Well-separated groups: cars within a cluster sit `spacing` apart
+    /// (mutually overlapping BEVs), while cluster anchors sit
+    /// `cluster_gap` apart — far beyond sensing range, so cross-cluster
+    /// pairs share no BEV. Gives place-recognition benches ground truth
+    /// with both overlapping *and* non-overlapping pairs.
+    Clusters,
+}
 
 /// Parameters of a fleet (platoon) scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,12 +54,20 @@ pub struct FleetConfig {
     /// degenerates to the base scenario.
     pub vehicles: usize,
     /// Along-road gap (m) between consecutive platoon cars appended
-    /// behind the ego.
+    /// behind the ego (within one cluster, for [`FleetPlacement::Clusters`]).
     pub spacing: f64,
     /// Half-width (m/s) of the uniform per-car speed perturbation around
     /// the base scenario's ego speed. Keep small relative to `spacing` so
     /// the platoon stays coherent over a simulated run.
     pub speed_jitter: f64,
+    /// Layout of the appended cars.
+    pub placement: FleetPlacement,
+    /// Cars per cluster ([`FleetPlacement::Clusters`] only).
+    pub cluster_size: usize,
+    /// Arc distance (m) between consecutive cluster anchors
+    /// ([`FleetPlacement::Clusters`] only). Choose beyond twice the BEV
+    /// range so cross-cluster pairs are guaranteed non-overlapping.
+    pub cluster_gap: f64,
 }
 
 impl FleetConfig {
@@ -46,18 +76,51 @@ impl FleetConfig {
     /// gaps are uniform front to back.
     pub fn platoon(scenario: ScenarioConfig, vehicles: usize) -> Self {
         let spacing = scenario.agent_separation;
-        FleetConfig { scenario, vehicles, spacing, speed_jitter: 0.5 }
+        FleetConfig {
+            scenario,
+            vehicles,
+            spacing,
+            speed_jitter: 0.5,
+            placement: FleetPlacement::Platoon,
+            cluster_size: 4,
+            cluster_gap: 300.0,
+        }
+    }
+
+    /// A clustered fleet: groups of `cluster_size` mutually overlapping
+    /// cars, consecutive clusters `cluster_gap` metres apart.
+    pub fn clusters(
+        scenario: ScenarioConfig,
+        vehicles: usize,
+        cluster_size: usize,
+        cluster_gap: f64,
+    ) -> Self {
+        let spacing = scenario.agent_separation;
+        FleetConfig {
+            scenario,
+            vehicles,
+            spacing,
+            speed_jitter: 0.5,
+            placement: FleetPlacement::Clusters,
+            cluster_size,
+            cluster_gap,
+        }
     }
 
     /// Validates the parameters.
     ///
     /// # Panics
     ///
-    /// Panics on fewer than two vehicles or a non-positive spacing.
+    /// Panics on fewer than two vehicles, a non-positive spacing, or (for
+    /// [`FleetPlacement::Clusters`]) an empty cluster or non-positive gap.
     pub fn validate(&self) {
         assert!(self.vehicles >= 2, "a fleet needs at least two vehicles");
         assert!(self.spacing > 0.0, "platoon spacing must be positive");
         assert!(self.speed_jitter >= 0.0, "speed jitter cannot be negative");
+        if self.placement == FleetPlacement::Clusters {
+            assert!(self.cluster_size >= 1, "clusters need at least one car");
+            assert!(self.cluster_gap > 0.0, "cluster gap must be positive");
+        }
     }
 }
 
@@ -90,9 +153,20 @@ impl FleetScenario {
         let road = crate::road::RoadFrame::new(config.scenario.road_curvature);
         let ego_s = config.scenario.road_length * EGO_ARC_FRACTION;
         for k in 2..config.vehicles {
-            // Car k sits (k-1)·spacing behind the ego, same lane, driving
-            // forward near the ego speed.
-            let s0 = ego_s - (k as f64 - 1.0) * config.spacing;
+            // Platoon: car k sits (k-1)·spacing behind the ego, same lane,
+            // driving forward near the ego speed. Clusters: car k joins
+            // cluster (k-2)/cluster_size, whose anchor trails the ego by a
+            // multiple of cluster_gap, at spacing-sized slots within it.
+            let s0 = match config.placement {
+                FleetPlacement::Platoon => ego_s - (k as f64 - 1.0) * config.spacing,
+                FleetPlacement::Clusters => {
+                    let cluster = (k - 2) / config.cluster_size.max(1);
+                    let slot = (k - 2) % config.cluster_size.max(1);
+                    ego_s
+                        - (cluster as f64 + 1.0) * config.cluster_gap
+                        - (slot as f64 + 1.0) * config.spacing
+                }
+            };
             let jitter = if config.speed_jitter > 0.0 {
                 rng.random_range(-config.speed_jitter..config.speed_jitter)
             } else {
@@ -149,6 +223,33 @@ impl FleetScenario {
         let a = self.trajectories[i].pose_at(t).translation();
         let b = self.trajectories[j].pose_at(t).translation();
         a.distance(b)
+    }
+
+    /// Ground-truth BEV overlap between vehicles `i` and `j` at time `t`:
+    /// the intersection area of their two sensing discs of radius
+    /// `range`, as a fraction of one disc's area (`1.0` when co-located,
+    /// `0.0` once they are more than `2·range` apart).
+    ///
+    /// Rotation-invariant by construction — exactly the "do these two
+    /// cars see the same scene" label place-recognition ROC sweeps need.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive `range`.
+    pub fn bev_overlap_fraction(&self, i: usize, j: usize, t: f64, range: f64) -> f64 {
+        assert!(range > 0.0, "sensing range must be positive");
+        let d = self.distance(i, j, t);
+        let r = range;
+        if d >= 2.0 * r {
+            return 0.0;
+        }
+        if d <= 0.0 {
+            return 1.0;
+        }
+        // Lens area of two equal circles radius r at centre distance d.
+        let lens =
+            2.0 * r * r * (d / (2.0 * r)).acos() - 0.5 * d * (4.0 * r * r - d * d).max(0.0).sqrt();
+        (lens / (std::f64::consts::PI * r * r)).clamp(0.0, 1.0)
     }
 }
 
@@ -243,5 +344,68 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_vehicle_fleet_panics() {
         FleetScenario::generate(&cfg(1), 0);
+    }
+
+    #[test]
+    fn overlap_fraction_is_bounded_symmetric_and_distance_monotone() {
+        let fleet = FleetScenario::generate(&cfg(6), 13);
+        let range = 102.4;
+        for i in 0..6 {
+            for j in 0..6 {
+                let f = fleet.bev_overlap_fraction(i, j, 0.0, range);
+                assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+                let g = fleet.bev_overlap_fraction(j, i, 0.0, range);
+                assert!((f - g).abs() < 1e-12, "overlap must be symmetric");
+            }
+            assert!((fleet.bev_overlap_fraction(i, i, 0.0, range) - 1.0).abs() < 1e-12);
+        }
+        // Platoon cars trail the ego at increasing distance, so the
+        // overlap with the ego must be non-increasing back down the line.
+        for k in 2..5 {
+            let near = fleet.bev_overlap_fraction(0, k, 0.0, range);
+            let far = fleet.bev_overlap_fraction(0, k + 1, 0.0, range);
+            assert!(near >= far, "overlap should shrink with distance ({near} < {far})");
+        }
+    }
+
+    #[test]
+    fn clusters_separate_overlapping_and_disjoint_pairs() {
+        // Two clusters of three, anchors 300 m apart: within a cluster
+        // every pair overlaps heavily; across clusters nothing overlaps
+        // at a 102.4 m sensing radius.
+        let config =
+            FleetConfig::clusters(ScenarioConfig::preset(ScenarioPreset::Suburban), 8, 3, 300.0);
+        let fleet = FleetScenario::generate(&config, 21);
+        let range = 102.4;
+        // Cluster 0 = vehicles 2..5, cluster 1 = vehicles 5..8.
+        for a in 2..5 {
+            for b in 2..5 {
+                if a == b {
+                    continue;
+                }
+                let f = fleet.bev_overlap_fraction(a, b, 0.0, range);
+                assert!(f > 0.5, "same-cluster pair ({a},{b}) overlap {f} too low");
+            }
+        }
+        for a in 2..5 {
+            for b in 5..8 {
+                let f = fleet.bev_overlap_fraction(a, b, 0.0, range);
+                assert_eq!(f, 0.0, "cross-cluster pair ({a},{b}) overlap {f} should be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_placement_keeps_the_base_scenario_byte_identical() {
+        let scen = ScenarioConfig::preset(ScenarioPreset::Urban);
+        let platoon = FleetScenario::generate(&FleetConfig::platoon(scen.clone(), 6), 5);
+        let clusters = FleetScenario::generate(&FleetConfig::clusters(scen, 6, 2, 250.0), 5);
+        // Placement only moves the appended cars; the base world prefix
+        // and the first two agents are unchanged.
+        assert_eq!(platoon.vehicle_id(0), clusters.vehicle_id(0));
+        assert_eq!(platoon.vehicle_id(1), clusters.vehicle_id(1));
+        assert_eq!(platoon.trajectory(0), clusters.trajectory(0));
+        assert_eq!(platoon.trajectory(1), clusters.trajectory(1));
+        assert_eq!(platoon.world().static_obstacles(), clusters.world().static_obstacles());
     }
 }

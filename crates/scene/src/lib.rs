@@ -39,7 +39,7 @@ pub mod scenario;
 pub mod trajectory;
 pub mod world;
 
-pub use fleet::{FleetConfig, FleetScenario};
+pub use fleet::{FleetConfig, FleetPlacement, FleetScenario};
 pub use objects::{ObjectKind, Obstacle, ObstacleId, Shape};
 pub use road::RoadFrame;
 pub use sampling::GaussianSampler;

@@ -20,6 +20,12 @@
 //! * **Fleet pose graph** ([`FleetPoseGraph`]) — pairwise recoveries
 //!   chained into an N-vehicle graph with 3-cycle consistency checking
 //!   and reconciliation that detects and excludes corrupted edges.
+//! * **Candidate-pair gating** ([`GateConfig`]) — a service-owned
+//!   [`bba_place::PlaceIndex`] of global place descriptors refuses pairs
+//!   that cannot see the same scene before any recovery work is queued
+//!   (`serve.shed_gated`), and ranks plausible partners via
+//!   [`PoseService::candidate_pairs`]. The gate fails open and leaves
+//!   admitted pairs bit-identical to an ungated service.
 //! * **Observability** — `serve.*` counters/gauges plus a per-recovery
 //!   latency histogram through `bba-obs`, quantile-queryable via
 //!   [`bba_obs::HistSummary::p99`].
@@ -53,7 +59,7 @@ pub mod session;
 pub mod shard;
 
 pub use graph::{CycleError, FleetPoseGraph, PoseEdge, ReconcileReport};
-pub use service::{PoseService, RecoveryOutcome, ServiceConfig, ServiceStats};
+pub use service::{GateConfig, PoseService, RecoveryOutcome, ServiceConfig, ServiceStats};
 pub use session::{
     AdmitOutcome, FrameSubmission, PairId, PairSession, SessionConfig, SessionStats,
 };

@@ -23,10 +23,33 @@ use crate::session::{AdmitOutcome, FrameSubmission, PairId, SessionConfig, Sessi
 use crate::shard::ShardMap;
 use bb_align::{BbAlign, RecoverError, Recovery, RecoveryPath, TrackerConfig};
 use bba_obs::Recorder;
+use bba_place::{PlaceDescriptor, PlaceIndex, PlaceMatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
+
+/// Candidate-pair gating policy: refuse pairwise recovery when the place
+/// descriptors say the two vehicles do not see the same scene.
+///
+/// The gate **fails open**: a pair where either side has no descriptor
+/// yet (no frame seen, or descriptors simply not published) is admitted
+/// normally, so enabling gating can only *remove* hopeless work, never
+/// starve a legitimate pair of its first recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Minimum descriptor cosine similarity (in `[0, 1]`) for a pair to
+    /// be admitted. Pairs strictly below are shed as
+    /// [`AdmitOutcome::ShedGated`].
+    pub min_similarity: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { min_similarity: 0.5 }
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +73,9 @@ pub struct ServiceConfig {
     /// Tracker tuning for the per-pair warm-start trackers (ignored when
     /// `warm_start` is off).
     pub tracker: TrackerConfig,
+    /// Place-descriptor gating at admission; `None` (the default) admits
+    /// every pair exactly as before gating existed.
+    pub gate: Option<GateConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +87,7 @@ impl Default for ServiceConfig {
             seed: 0,
             warm_start: true,
             tracker: TrackerConfig::default(),
+            gate: None,
         }
     }
 }
@@ -101,6 +128,9 @@ pub struct ServiceStats {
     pub shed_superseded: u64,
     /// Frames shed by queue overflow.
     pub shed_overflow: u64,
+    /// Frames refused by the place-descriptor gate before reaching any
+    /// session.
+    pub shed_gated: u64,
     /// Frames currently queued.
     pub queued: u64,
 }
@@ -108,7 +138,11 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// Total shed frames.
     pub fn shed_total(&self) -> u64 {
-        self.shed_stale + self.shed_duplicate + self.shed_superseded + self.shed_overflow
+        self.shed_stale
+            + self.shed_duplicate
+            + self.shed_superseded
+            + self.shed_overflow
+            + self.shed_gated
     }
 
     /// The service-wide conservation invariant: every submitted frame is
@@ -125,6 +159,14 @@ pub struct PoseService {
     shards: ShardMap,
     config: ServiceConfig,
     obs: Recorder,
+    /// Latest place descriptor per vehicle, shared across every session.
+    /// RwLock because `submit` only reads (similarity lookups) while
+    /// descriptor publication writes; contention is one dot product long.
+    place: RwLock<PlaceIndex>,
+    /// Frames refused by the gate. Counted at the service level because
+    /// gated frames never reach a session, so the per-session fold in
+    /// [`PoseService::stats`] cannot see them.
+    gated: AtomicU64,
 }
 
 /// Deterministic per-work-item RNG seed from (service seed, pair, seq):
@@ -151,14 +193,19 @@ impl PoseService {
             engine,
             config,
             obs: Recorder::disabled(),
+            place: RwLock::new(PlaceIndex::new()),
+            gated: AtomicU64::new(0),
         }
     }
 
     /// Installs an observability recorder (builder style). The service
     /// records admission/shed counters, queue-depth and session gauges,
     /// and a per-recovery latency histogram; none of it influences
-    /// results.
+    /// results. The place index shares the recorder, adding
+    /// `place.query` spans and `place.queries` / `place.updates`
+    /// counters.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.place.get_mut().expect("place index lock poisoned").set_recorder(recorder.clone());
         self.obs = recorder;
         self
     }
@@ -173,11 +220,54 @@ impl PoseService {
         &self.config
     }
 
+    /// Publishes `vehicle`'s latest place descriptor, making it visible
+    /// to the admission gate and to [`PoseService::candidate_pairs`].
+    /// Callers that already ran stage 1 should extract it from the
+    /// existing MIM (see `BbAlign::place_descriptor`) — publication here
+    /// is a write-locked upsert, no signal processing.
+    pub fn update_descriptor(&self, vehicle: u32, descriptor: PlaceDescriptor) {
+        self.place.write().expect("place index lock poisoned").update(vehicle, descriptor);
+    }
+
+    /// The `k` most plausible recovery partners for `receiver`, ranked by
+    /// place-descriptor similarity. Empty when `receiver` has not
+    /// published a descriptor yet.
+    pub fn candidate_pairs(&self, receiver: u32, k: usize) -> Vec<PlaceMatch> {
+        let place = self.place.read().expect("place index lock poisoned");
+        match place.get(receiver) {
+            Some(query) => place.top_k(query, k, Some(receiver)),
+            None => Vec::new(),
+        }
+    }
+
     /// Offers a frame to `pair`'s session. Never blocks the caller: the
     /// frame is queued or shed in O(1) under one shard lock, and the
     /// outcome (including any overflow eviction it triggered) is counted
     /// in the metrics.
+    ///
+    /// With [`ServiceConfig::gate`] set, pairs whose published place
+    /// descriptors fall below the similarity floor are refused here —
+    /// before any session state is touched — as
+    /// [`AdmitOutcome::ShedGated`]. Pairs the gate admits flow through
+    /// the exact same session path as an ungated service, so admitted
+    /// results are bit-identical with gating on or off.
     pub fn submit(&self, pair: PairId, frame: FrameSubmission, now: f64) -> AdmitOutcome {
+        if let Some(gate) = &self.config.gate {
+            let similarity = self
+                .place
+                .read()
+                .expect("place index lock poisoned")
+                .pair_similarity(pair.receiver, pair.sender);
+            // Fail open: gate only when BOTH sides have descriptors.
+            if let Some(s) = similarity {
+                if s < gate.min_similarity {
+                    self.gated.fetch_add(1, Ordering::Relaxed);
+                    self.obs.incr("serve.submitted");
+                    self.obs.incr("serve.shed_gated");
+                    return AdmitOutcome::ShedGated;
+                }
+            }
+        }
         let (outcome, overflowed) = self.shards.with_session(pair, |session| {
             let before = session.stats().shed_overflow;
             let outcome = session.admit(frame, now);
@@ -189,6 +279,8 @@ impl PoseService {
             AdmitOutcome::ShedStale => self.obs.incr("serve.shed_stale"),
             AdmitOutcome::ShedDuplicate => self.obs.incr("serve.shed_duplicate"),
             AdmitOutcome::ShedSuperseded => self.obs.incr("serve.shed_superseded"),
+            // Sessions never gate; the gate returned above.
+            AdmitOutcome::ShedGated => unreachable!("gating happens before session admission"),
         }
         if overflowed > 0 {
             self.obs.add("serve.shed_overflow", overflowed);
@@ -298,6 +390,12 @@ impl PoseService {
             acc.queued += session.queue_len() as u64;
             acc
         });
+        // Gated frames were refused before any session saw them: account
+        // for both the submission and the shed at the service level so
+        // conservation still balances.
+        let gated = self.gated.load(Ordering::Relaxed);
+        stats.submitted += gated;
+        stats.shed_gated = gated;
         // Gauges published here too, so callers that only snapshot after
         // a stats() call still see current depth.
         self.obs.gauge("serve.sessions", stats.sessions as f64);
@@ -422,6 +520,145 @@ mod tests {
         let metrics = svc.obs.snapshot();
         assert_eq!(metrics.value("serve.recovery_cold_ms").map(|h| h.count), Some(1));
         assert!(metrics.value("serve.recovery_warm_ms").is_none());
+    }
+
+    fn descriptor(seed: u64) -> PlaceDescriptor {
+        use bba_signal::{Grid, LogGaborConfig, MaxIndexMap};
+        let mut img = Grid::new(32, 32, 0.0);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for _ in 0..30 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state as usize >> 3) % 32;
+            let v = (state as usize >> 23) % 32;
+            for d in 0..6usize.min(32 - u.max(v)) {
+                img[(u + d, v)] = 5.0;
+            }
+        }
+        let mim = MaxIndexMap::compute(&img, &LogGaborConfig::default());
+        PlaceDescriptor::from_mim(&mim, &bba_place::PlaceConfig::default())
+    }
+
+    fn gated_service(min_similarity: f64) -> PoseService {
+        let engine = Arc::new(BbAlign::new(BbAlignConfig::test_small()));
+        PoseService::new(
+            engine,
+            ServiceConfig {
+                shards: 4,
+                seed: 7,
+                gate: Some(GateConfig { min_similarity }),
+                ..Default::default()
+            },
+        )
+        .with_recorder(Recorder::enabled())
+    }
+
+    #[test]
+    fn gate_fails_open_without_descriptors() {
+        let svc = gated_service(1.1); // impossible floor: everything with descriptors gates
+        let frame = empty_frame(&svc);
+        // Neither side published: admitted.
+        assert_eq!(
+            svc.submit(PairId::new(0, 1), submission(&frame, 0, 0.0), 0.0),
+            AdmitOutcome::Admitted
+        );
+        // Only one side published: still admitted.
+        svc.update_descriptor(0, descriptor(1));
+        assert_eq!(
+            svc.submit(PairId::new(0, 1), submission(&frame, 1, 0.0), 0.0),
+            AdmitOutcome::Admitted
+        );
+        // Both sides published, similarity < 1.1: gated.
+        svc.update_descriptor(1, descriptor(2));
+        assert_eq!(
+            svc.submit(PairId::new(0, 1), submission(&frame, 2, 0.0), 0.0),
+            AdmitOutcome::ShedGated
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.shed_gated, 1);
+        assert!(stats.is_conserved(), "gated frames must stay in the conservation balance");
+    }
+
+    #[test]
+    fn gating_conserves_across_mixed_traffic() {
+        // submitted == processed + shed (incl. gated) + queued, with the
+        // gate refusing dissimilar pairs and admitting identical ones.
+        let svc = gated_service(0.99);
+        let frame = empty_frame(&svc);
+        let same = descriptor(3);
+        svc.update_descriptor(0, same.clone());
+        svc.update_descriptor(1, same); // pair (0,1): similarity 1.0, admitted
+        svc.update_descriptor(2, descriptor(4));
+        svc.update_descriptor(3, descriptor(5)); // pair (2,3): dissimilar, gated
+        let mut admitted = 0u64;
+        let mut gated = 0u64;
+        for seq in 0..5u64 {
+            for &(r, s) in &[(0u32, 1u32), (2, 3)] {
+                match svc.submit(PairId::new(r, s), submission(&frame, seq, 0.0), 0.0) {
+                    AdmitOutcome::Admitted => admitted += 1,
+                    AdmitOutcome::ShedGated => gated += 1,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
+        assert_eq!(gated, 5, "every (2,3) submission should gate");
+        let processed = svc.process_batch(0.0).len() as u64;
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.shed_gated, 5);
+        assert_eq!(
+            stats.submitted,
+            processed + stats.shed_total() + stats.queued,
+            "conservation: submitted == processed + shed + queued"
+        );
+        assert_eq!(admitted, 5, "every (0,1) submission should be admitted");
+        let metrics = svc.obs.snapshot();
+        assert_eq!(metrics.counter("serve.submitted"), Some(10));
+        assert_eq!(metrics.counter("serve.shed_gated"), Some(5));
+    }
+
+    #[test]
+    fn admitted_results_are_bit_identical_with_gating_on() {
+        // The gate must only filter; anything admitted takes the exact
+        // ungated path. Compare outcome-for-outcome against a gate-free
+        // service.
+        let run = |gate: Option<GateConfig>| {
+            let engine = Arc::new(BbAlign::new(BbAlignConfig::test_small()));
+            let svc = PoseService::new(
+                engine,
+                ServiceConfig { shards: 4, seed: 7, gate, ..Default::default() },
+            );
+            let d = descriptor(9);
+            svc.update_descriptor(0, d.clone());
+            svc.update_descriptor(1, d);
+            let frame = empty_frame(&svc);
+            svc.submit(PairId::new(0, 1), submission(&frame, 0, 0.25), 0.25);
+            svc.process_batch(0.25)
+                .into_iter()
+                .map(|o| (o.pair, o.seq, o.path, o.result))
+                .collect::<Vec<_>>()
+        };
+        let ungated = run(None);
+        let gated = run(Some(GateConfig { min_similarity: 0.5 }));
+        assert_eq!(ungated.len(), 1);
+        assert_eq!(ungated, gated);
+    }
+
+    #[test]
+    fn candidate_pairs_rank_by_descriptor_similarity() {
+        let svc = gated_service(0.0);
+        assert!(svc.candidate_pairs(0, 4).is_empty(), "no descriptor for the receiver yet");
+        let d = descriptor(11);
+        svc.update_descriptor(0, d.clone());
+        svc.update_descriptor(1, d); // identical to receiver
+        svc.update_descriptor(2, descriptor(12)); // different scene
+        let ranked = svc.candidate_pairs(0, 4);
+        assert_eq!(ranked.len(), 2, "the receiver itself is excluded");
+        assert_eq!(ranked[0].vehicle, 1);
+        assert!((ranked[0].similarity - 1.0).abs() < 1e-9);
+        assert!(ranked[1].similarity <= ranked[0].similarity);
+        assert!(ranked.iter().all(|m| m.vehicle != 0));
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub enum AdmitOutcome {
     ShedDuplicate,
     /// Sequence number below the newest admitted frame.
     ShedSuperseded,
+    /// Place-descriptor similarity for the pair fell below the service
+    /// gate: the vehicles almost certainly do not see the same scene, so
+    /// the frame was refused before it reached the session queue.
+    ShedGated,
 }
 
 /// Per-session accounting. All counters are cumulative over the session's
